@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one paper exhibit (table or figure),
+prints the same rows/series the paper reports, and asserts the *shape*
+invariants (orderings, crossovers, approximate factors).  Absolute
+timings are simulation outputs, so pytest-benchmark's statistics measure
+the harness itself; the scientific payload is in the printed reports and
+shape assertions.
+"""
+
+import pytest
+
+from repro.config import default_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "exhibit(name): paper table/figure a benchmark regenerates")

@@ -1,0 +1,38 @@
+"""Ablation (paper Section 5.1.1): GPU Host Networking vs GPU-TN.
+
+The paper declines to simulate the helper-thread class and argues
+qualitatively that GPU-TN matches its intra-kernel latency without a
+dedicated CPU polling thread.  This repository implements the class
+(`repro.strategies.gpu_host`) and quantifies both halves of the claim.
+"""
+
+import pytest
+
+from repro.apps.microbench import run_microbenchmark
+
+
+@pytest.mark.exhibit("ablation-5.1.1")
+def test_gpu_host_vs_gputn(benchmark, config, capsys):
+    def run_all():
+        return {s: run_microbenchmark(config, s)
+                for s in ("gputn", "gpu-host", "gds", "hdn")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        for s in ("gputn", "gpu-host", "gds", "hdn"):
+            r = results[s]
+            extra = ""
+            if s == "gpu-host":
+                extra = (f"  (+ dedicated helper core, "
+                         f"{r.initiator.detail['helper_thread_busy_ns']} ns "
+                         "of service work for one message)")
+            print(f"  {s:9s} target @ "
+                  f"{r.normalized_target_completion_ns / 1000:.2f} us{extra}")
+
+    t = {s: results[s].normalized_target_completion_ns for s in results}
+    # Intra-kernel strategies beat kernel-boundary ones ...
+    assert t["gpu-host"] < t["gds"] < t["hdn"]
+    # ... and GPU-TN beats the helper-thread class without burning a core.
+    assert t["gputn"] < t["gpu-host"]
+    assert results["gpu-host"].initiator.detail["helper_thread_busy_ns"] > 0

@@ -1,0 +1,91 @@
+"""Ablation (paper Section 4.2.3): messaging granularity.
+
+The trigger threshold/counter lets one kernel express work-item,
+work-group, pair-of-work-groups and kernel-level messaging.  This
+ablation runs the same 8-work-group kernel at each granularity and
+compares message counts and completion times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    GpuTnEndpoint,
+    kernel_level_kernel,
+    mixed_granularity_kernel,
+    work_group_kernel,
+)
+from repro.cluster import Cluster
+
+N_WG = 8
+PAYLOAD = 64
+
+
+def run_granularity(config, granularity: str):
+    """Returns (last delivery time, number of wire messages)."""
+    cluster = Cluster(n_nodes=2, config=config, trace=False)
+    ep = GpuTnEndpoint(cluster[0])
+    target = cluster[1]
+    send = cluster[0].host.alloc(N_WG * PAYLOAD)
+
+    plans = {
+        # (kernel fn, messages, threshold per tag, groups per message)
+        "work-group": (work_group_kernel, N_WG, 1, 1),
+        "pair": (mixed_granularity_kernel, N_WG // 2, 2, 2),
+        "kernel": (kernel_level_kernel, 1, N_WG, N_WG),
+    }
+    fn, n_msgs, threshold, span = plans[granularity]
+    recvs = [target.host.alloc(PAYLOAD) for _ in range(n_msgs)]
+
+    def driver():
+        ops = []
+        for m in range(n_msgs):
+            op = yield from ep.trig_put(send, PAYLOAD, target.name,
+                                        recvs[m].addr(), tag=0x300 + m,
+                                        threshold=threshold)
+            ops.append(op)
+        args = {"buffers": [send], "fill": 1, "work_ns": 400}
+        if granularity == "kernel":
+            args["tag"] = 0x300
+        else:
+            args["tag_base"] = 0x300
+        if granularity == "pair":
+            args["group_span"] = span
+        yield from ep.launch(fn, n_workgroups=N_WG, **args)
+        for op in ops:
+            yield ep.wait_delivered(op)
+        return cluster.sim.now
+
+    p = cluster.spawn(driver())
+    done = cluster.sim.run_until_event(p)
+    for r in recvs:
+        assert (r.view(np.uint8) == 1).all()
+    return done, cluster[0].nic.stats["tx_ops"]
+
+
+@pytest.mark.exhibit("ablation-4.2.3")
+@pytest.mark.parametrize("granularity", ("work-group", "pair", "kernel"))
+def test_granularity_point(benchmark, config, granularity):
+    done, n_msgs = benchmark(run_granularity, config, granularity)
+    expected = {"work-group": N_WG, "pair": N_WG // 2, "kernel": 1}
+    assert n_msgs == expected[granularity]
+
+
+@pytest.mark.exhibit("ablation-4.2.3")
+def test_granularity_tradeoff(benchmark, config, capsys):
+    """Coarser granularity sends fewer messages but the first byte lands
+    later (must wait for more work-groups); finer granularity overlaps
+    earlier at the cost of more NIC operations."""
+    def sweep():
+        return {g: run_granularity(config, g)
+                for g in ("work-group", "pair", "kernel")}
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        for g, (done, msgs) in data.items():
+            print(f"  {g:10s}: {msgs} messages, all delivered @ "
+                  f"{done / 1000:.2f} us")
+
+    msgs = {g: m for g, (_, m) in data.items()}
+    assert msgs["work-group"] > msgs["pair"] > msgs["kernel"]

@@ -1,0 +1,40 @@
+"""Figure 1: kernel launch latencies vs. queued kernel commands.
+
+Paper: per-kernel launch latency on three modern GPUs varies from
+~3 us to ~20 us depending on queue depth; even the best case is 3-4 us.
+"""
+
+import pytest
+
+from repro.analysis import figure1_report
+from repro.apps.launch_study import measure_launch_latency
+from repro.gpu.dispatcher import FIGURE1_GPUS
+
+DEPTHS = (1, 4, 16, 64, 256)
+
+
+@pytest.mark.exhibit("figure1")
+def test_figure1_regenerate(benchmark, config, capsys):
+    data = benchmark.pedantic(
+        figure1_report, kwargs={"depths": DEPTHS, "config": config},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        figure1_report(depths=DEPTHS, config=config)
+
+    # Shape assertions from the paper's text.
+    for name, lat in data.items():
+        assert all(a >= b for a, b in zip(lat, lat[1:])), \
+            f"{name}: latency must amortize with queue depth"
+        assert 3.0 <= lat[-1] <= 4.6, f"{name}: best case must be 3-4 us"
+    assert 18.0 <= data["GPU 1"][0] <= 21.0, "worst case ~20 us"
+    assert data["GPU 3"][0] <= 5.0, "best GPU stays near the floor"
+
+
+@pytest.mark.exhibit("figure1")
+@pytest.mark.parametrize("gpu", sorted(FIGURE1_GPUS))
+def test_figure1_single_gpu_depth1(benchmark, config, gpu):
+    model = FIGURE1_GPUS[gpu]
+    per_kernel = benchmark(measure_launch_latency, config, model, 1)
+    assert per_kernel == model.per_kernel_ns(1)

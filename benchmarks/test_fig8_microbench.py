@@ -1,0 +1,39 @@
+"""Figure 8: microbenchmark latency decomposition.
+
+Paper: target completion GPU-TN 2.71 us / GDS 3.76 us / HDN 4.21 us from
+kernel-launch start -- GPU-TN ~25% faster than GDS and ~35% than HDN --
+and with GPU-TN the target receives data before the initiator's kernel
+finishes.
+"""
+
+import pytest
+
+from repro.analysis import figure8_report
+from repro.apps.microbench import run_all_strategies, run_microbenchmark
+
+
+@pytest.mark.exhibit("figure8")
+def test_figure8_regenerate(benchmark, config, capsys):
+    results = benchmark.pedantic(run_all_strategies, args=(config,),
+                                 rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        figure8_report(config)
+
+    t = {k: results[k].normalized_target_completion_ns
+         for k in ("gputn", "gds", "hdn")}
+    assert t["gputn"] < t["gds"] < t["hdn"]
+    gain_gds = 1 - t["gputn"] / t["gds"]
+    gain_hdn = 1 - t["gputn"] / t["hdn"]
+    assert 0.15 <= gain_gds <= 0.35, f"paper ~25%, got {gain_gds:.0%}"
+    assert 0.25 <= gain_hdn <= 0.45, f"paper ~35%, got {gain_hdn:.0%}"
+    # Intra-kernel delivery property.
+    r = results["gputn"]
+    assert r.target_completion_ns < r.initiator.kernel_finished
+
+
+@pytest.mark.exhibit("figure8")
+@pytest.mark.parametrize("strategy", ("cpu", "hdn", "gds", "gputn"))
+def test_figure8_single_strategy(benchmark, config, strategy):
+    result = benchmark(run_microbenchmark, config, strategy)
+    assert result.payload_ok and result.memory_hazards == 0

@@ -1,0 +1,45 @@
+"""Figure 9: 2D Jacobi relaxation speedup over local grid sizes.
+
+Paper: speedup vs HDN for one iteration at varying NxN local grids --
+GPU-TN up to ~10% over GDS and ~20% over HDN on medium grids; the CPU
+wins below ~N=100 and loses above; all strategies converge at large N.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure9_report
+from repro.apps.jacobi import jacobi_reference, run_jacobi
+
+SIZES = (16, 64, 128, 256, 512, 1024)
+
+
+@pytest.mark.exhibit("figure9")
+def test_figure9_regenerate(benchmark, config, capsys):
+    data = benchmark.pedantic(
+        figure9_report, kwargs={"sizes": SIZES, "iters": 2, "config": config},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        figure9_report(sizes=SIZES, iters=2, config=config)
+
+    gputn, gds, cpu = data["gputn"], data["gds"], data["cpu"]
+    # GPU-TN > GDS > 1 (HDN) at every size; gains shrink with N.
+    for i in range(len(SIZES)):
+        assert gputn[i] > gds[i] > 1.0
+    assert gputn[0] > gputn[-1]
+    assert gputn[-1] < 1.10 and gds[-1] < 1.05, "convergence at large N"
+    # CPU crossover: wins small grids, loses large ones.
+    assert cpu[0] > 1.0 and cpu[-1] < 1.0
+    crossover = next(n for n, v in zip(SIZES, cpu) if v < 1.0)
+    assert 64 <= crossover <= 512
+
+
+@pytest.mark.exhibit("figure9")
+@pytest.mark.parametrize("strategy", ("cpu", "hdn", "gds", "gputn"))
+def test_figure9_single_iteration(benchmark, config, strategy):
+    result = benchmark(run_jacobi, config, strategy, 128)
+    ref = jacobi_reference(128, 2, 2, 1, seed=7)
+    assert np.allclose(result.grid, ref, rtol=1e-6)
+    assert result.memory_hazards == 0

@@ -1,0 +1,31 @@
+"""Table 2: GPU-TN simulation configuration."""
+
+import pytest
+
+from repro.analysis import table2_report
+
+
+@pytest.mark.exhibit("table2")
+def test_table2_regenerate(benchmark, config, capsys):
+    table = benchmark.pedantic(table2_report, args=(config,),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table2_report(config)
+
+    cpu = table["CPU and Memory Configuration"]
+    gpu = table["GPU Configuration"]
+    net = table["Network Configuration"]
+    assert cpu["Type"] == "8 Wide OOO, 4GHz, 8 cores"
+    assert cpu["I,D-Cache"] == "64K, 2-way, 2 cycles"
+    assert cpu["L2-Cache"] == "2MB, 8-way, 4 cycles"
+    assert cpu["L3-Cache"] == "16MB, 16-way, 20 cycles"
+    assert cpu["System Memory"] == "DDR4, 8 Channels, 2133MHz"
+    assert gpu["Type"] == "1 GHz, 24 Compute Units"
+    assert gpu["D-Cache"] == "16kB, 64B line, 16-way, 25 cycles"
+    assert gpu["I-Cache"] == "32kB, 64B line, 8-way, 25 cycles"
+    assert gpu["L2-Cache"] == "768kB, 64B line, 16-way, 150 cycles"
+    assert gpu["Kernel Latencies"] == "1.5us launch / 1.5us teardown"
+    assert net["Latency"] == "100ns Link, 100ns Switch"
+    assert net["Bandwidth"] == "100Gbps"
+    assert net["Topology"] == "Star (single switch)"

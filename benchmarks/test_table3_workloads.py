@@ -1,0 +1,22 @@
+"""Table 3: CNTK workload description."""
+
+import pytest
+
+from repro.analysis import table3_report
+
+
+@pytest.mark.exhibit("table3")
+def test_table3_regenerate(benchmark, capsys):
+    rows = benchmark.pedantic(table3_report, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table3_report()
+
+    assert rows == [
+        ("AlexNet", "Classification", "14%", "4672"),
+        ("AN4 LSTM", "Speech", "50%", "131192"),
+        ("CIFAR", "Classification", "4%", "939820"),
+        ("Large Synth", "Synthetic", "28%", "52800"),
+        ("MNIST Conv", "Text Recognition", "12%", "900000"),
+        ("MNIST Hidden", "Text Recognition", "29%", "900000"),
+    ]

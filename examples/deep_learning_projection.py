@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Deep-learning training projection (Table 3 + Figure 11).
+
+Projects application-level speedup for the paper's six CNTK workloads on
+an 8-node cluster, using synthetic Allreduce traces that reproduce
+Table 3's %blocked / reduction counts (see DESIGN.md for the
+substitution) and this repository's simulated Allreduce times.
+
+Run:  python examples/deep_learning_projection.py [--nodes 8]
+"""
+
+import argparse
+
+from repro import default_config
+from repro.analysis.tables import render_table
+from repro.apps.deeplearning import WORKLOADS, project_deep_learning
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--workloads", nargs="+", default=sorted(WORKLOADS),
+                        choices=sorted(WORKLOADS))
+    args = parser.parse_args()
+
+    print("Table 3 workloads:")
+    print(render_table(
+        ["name", "domain", "%blocked", "reductions"],
+        [(w.name, w.domain, f"{w.pct_blocked:.0%}", w.n_reductions)
+         for k, w in WORKLOADS.items() if k in args.workloads]))
+    print()
+
+    print(f"Simulating Allreduce behaviour on {args.nodes} nodes ...")
+    projections = project_deep_learning(default_config(),
+                                        workloads=args.workloads,
+                                        n_nodes=args.nodes)
+
+    rows = []
+    for key, proj in projections.items():
+        rows.append([
+            proj.workload,
+            *(f"{proj.speedup[s]:.3f}" for s in ("cpu", "hdn", "gds", "gputn")),
+            f"{proj.speedup_over('gputn', 'hdn'):.3f}",
+        ])
+    print()
+    print(render_table(
+        ["workload", "CPU", "HDN", "GDS", "GPU-TN", "GPU-TN/HDN"], rows,
+        title="Projected app-level speedup (baseline: measured CPU-Allreduce "
+              "configuration)"))
+    print("\nPaper's Figure 11 story: gains track how much of the run is "
+          "blocked on Allreduce and how small its messages are -- AN4 LSTM "
+          "(50% blocked, small gradients) gains most, CIFAR (4%) barely "
+          "moves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""NIC-offloaded broadcast and barrier from chained triggered operations.
+
+Triggered operations were invented for NIC-progressed collective
+sequences (the paper's Section 6 / Underwood et al.).  This example
+builds both canonical offloaded collectives on the GPU-TN NIC:
+
+* a binomial-tree **broadcast** whose forwarding puts are pre-registered
+  and chained on the arrival itself -- after setup, the payload hops
+  NIC-to-NIC with zero CPU/GPU involvement;
+* a **barrier** that GPU kernels enter with a single trigger store
+  (paper §4.2.5: "more complex semantics such as execution barriers can
+  be built out of these primitives").
+
+Run:  python examples/offloaded_collectives.py [--nodes 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import default_config
+from repro.cluster import Cluster
+from repro.collectives import nic_barrier, nic_broadcast
+from repro.gpu.kernel import KernelDescriptor
+
+
+def demo_broadcast(n_nodes: int) -> None:
+    cluster = Cluster(n_nodes=n_nodes, config=default_config())
+    payload = np.arange(4096, dtype=np.uint8)
+    handles = nic_broadcast(cluster, payload)
+    busy_before = cluster.total_cpu_busy_ns()
+    cluster.run()
+
+    print(f"Broadcast of {payload.nbytes} B over {n_nodes} nodes "
+          "(binomial tree, NIC-chained forwarding):")
+    for r in range(n_nodes):
+        ok = (handles.buffers[r].view(np.uint8) == payload).all()
+        t = (handles.received[r].value.delivered_at
+             if r != handles.root else 0)
+        print(f"  rank {r}: received @ {t / 1000:6.2f} us  verified={bool(ok)}")
+    print(f"  CPU work during the collective: "
+          f"{cluster.total_cpu_busy_ns() - busy_before} ns (fully offloaded)")
+
+
+def demo_gpu_barrier(n_nodes: int) -> None:
+    cluster = Cluster(n_nodes=n_nodes, config=default_config())
+    handles = nic_barrier(cluster)
+
+    def make_kernel(rank):
+        def kernel(ctx):
+            # Uneven work before the rendezvous.
+            yield ctx.compute(2_000 * (rank + 1))
+            yield ctx.fence_release_system()
+            yield ctx.store_trigger(handles.enter_tag[rank])
+        return kernel
+
+    for r in range(n_nodes):
+        cluster[r].gpu.launch(KernelDescriptor(fn=make_kernel(r),
+                                               n_workgroups=1,
+                                               name=f"enter-{r}"))
+    cluster.run()
+
+    print(f"\nBarrier across {n_nodes} nodes, entered from inside GPU "
+          "kernels (one trigger store each):")
+    for r in range(n_nodes):
+        ev = handles.released[r]
+        t = ev.value if isinstance(ev.value, int) else ev.value.delivered_at
+        print(f"  rank {r}: released @ {t / 1000:6.2f} us")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    args = parser.parse_args()
+    demo_broadcast(args.nodes)
+    demo_gpu_barrier(args.nodes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: one GPU-triggered put between two simulated nodes.
+
+Walks the exact host flow of paper Figure 6 and the kernel flow of
+Figure 7b, then prints the event timeline -- including the paper's
+signature observation that the target receives the data *before* the
+initiator's kernel finishes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import default_config
+from repro.api import GpuTnEndpoint, work_group_kernel
+from repro.cluster import Cluster
+
+MESSAGE_BYTES = 256
+
+
+def main() -> None:
+    # RdmaInit(): build a 2-node cluster on the paper's Table 2 system.
+    cluster = Cluster(n_nodes=2, config=default_config())
+    initiator, target = cluster[0], cluster[1]
+    ep = GpuTnEndpoint(initiator)
+
+    send_buf = initiator.host.alloc(MESSAGE_BYTES, name="send")
+    recv_buf = target.host.alloc(MESSAGE_BYTES, name="recv")
+
+    timeline = {}
+
+    def driver():
+        # TrigPut(): the CPU builds and registers the network operation.
+        op = yield from ep.trig_put(send_buf, MESSAGE_BYTES, target.name,
+                                    recv_buf.addr(), tag=0x42)
+        timeline["registered"] = cluster.sim.now
+
+        # LaunchKern(): the kernel fills the buffer, fences it to system
+        # scope, and stores the tag to the NIC trigger address (Fig. 7b).
+        inst = yield from ep.launch(work_group_kernel, n_workgroups=1,
+                                    tag_base=0x42, buffers=[send_buf],
+                                    fill=0xAB, work_ns=500)
+        timeline["kernel_enqueued"] = cluster.sim.now
+
+        timeline["delivered"] = (yield ep.wait_delivered(op)).delivered_at
+        timeline["kernel_finished"] = yield inst.finished
+        ep.free(op)
+
+    proc = cluster.spawn(driver())
+    cluster.run()
+    if not proc.ok:
+        raise proc.value
+
+    assert (recv_buf.view(np.uint8) == 0xAB).all(), "payload corrupted!"
+    assert cluster.total_hazards() == 0, "memory-model hazard!"
+
+    print("GPU-TN quickstart: 256 B put, triggered from inside a kernel")
+    print("-" * 60)
+    for what, t in sorted(timeline.items(), key=lambda kv: kv[1]):
+        print(f"  {t / 1000:7.2f} us  {what}")
+    print("-" * 60)
+    gap = timeline["kernel_finished"] - timeline["delivered"]
+    print(f"Target had the data {gap / 1000:.2f} us BEFORE the initiator's "
+          f"kernel finished -- that is intra-kernel networking.")
+
+
+if __name__ == "__main__":
+    main()

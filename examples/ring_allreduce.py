@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Strong-scaling ring Allreduce study (Figure 10).
+
+Runs the paper's 8 MB single-precision ring Allreduce over a node sweep
+under all four strategies, verifying every result bitwise against a
+ring-order NumPy reference, and reports speedup vs the CPU baseline.
+
+Run:  python examples/ring_allreduce.py [--nodes 2 8 16 24 32] [--mb 8]
+"""
+
+import argparse
+
+from repro import default_config
+from repro.analysis.tables import render_table, sparkline
+from repro.apps.allreduce_bench import strong_scaling_study
+from repro.config import MB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=[2, 8, 16, 24, 32])
+    parser.add_argument("--mb", type=int, default=8,
+                        help="payload size in MiB (paper: 8)")
+    args = parser.parse_args()
+
+    study = strong_scaling_study(default_config(), node_counts=args.nodes,
+                                 nbytes=args.mb * MB)
+
+    rows = []
+    for strategy in ("hdn", "gds", "gputn"):
+        sp = study.speedup_vs_cpu(strategy)
+        rows.append([strategy] + [f"{v:.3f}" for v in sp] + [sparkline(sp)])
+    print(render_table(
+        ["strategy"] + [f"P={p}" for p in args.nodes] + ["shape"], rows,
+        title=f"{args.mb} MiB ring Allreduce: speedup vs CPU "
+              "(every run verified bitwise)",
+    ))
+
+    crossover = study.crossover_node_count("hdn")
+    if crossover:
+        print(f"\nHDN drops below the CPU at P={crossover} "
+              "(paper: ~24 nodes) -- kernel-boundary overheads eat the "
+              "GPU's advantage as chunks shrink.")
+    print("GPU-TN keeps scaling: the whole collective runs inside one "
+          "persistent kernel with pipelined triggered puts.")
+
+
+if __name__ == "__main__":
+    main()

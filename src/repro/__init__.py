@@ -1,0 +1,46 @@
+"""repro — a simulation-based reproduction of GPU Triggered Networking (SC17).
+
+The package implements, in pure Python + NumPy:
+
+* a discrete-event simulator (``repro.sim``) standing in for gem5,
+* a coherent-SoC node model: CPU (``repro.host``), GPU (``repro.gpu``),
+  NIC with Portals-4-style triggered operations (``repro.nic``), shared
+  memory with a scoped memory model (``repro.memory``),
+* a star-topology fabric (``repro.net``),
+* the GPU-TN programming model (``repro.api``) -- the paper's contribution,
+* four end-to-end networking strategies (``repro.strategies``): CPU, HDN,
+  GDS and GPU-TN,
+* libNBC-style non-blocking collectives (``repro.collectives``), and
+* the paper's applications (``repro.apps``): latency microbenchmark,
+  2D Jacobi relaxation, ring Allreduce, deep-learning projection.
+
+Quickstart::
+
+    from repro import default_config, run_microbenchmark
+    result = run_microbenchmark(default_config(), strategy="gputn")
+    print(result.target_completion_ns)
+"""
+
+from repro.config import SystemConfig, default_config
+from repro.version import __version__
+
+__all__ = ["SystemConfig", "default_config", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light while exposing the full API.
+    import importlib
+
+    lazy = {
+        "discrete_gpu_config": ("repro.presets", "discrete_gpu_config"),
+        "run_microbenchmark": ("repro.apps.microbench", "run_microbenchmark"),
+        "run_jacobi": ("repro.apps.jacobi", "run_jacobi"),
+        "run_allreduce": ("repro.apps.allreduce_bench", "run_allreduce"),
+        "project_deep_learning": ("repro.apps.deeplearning", "project_deep_learning"),
+        "Cluster": ("repro.cluster", "Cluster"),
+        "STRATEGIES": ("repro.strategies", "STRATEGIES"),
+    }
+    if name in lazy:
+        module, attr = lazy[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

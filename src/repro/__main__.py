@@ -1,0 +1,54 @@
+"""Command-line entry: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                 # everything (Figure 10/11 take ~2 min)
+    python -m repro fig1 fig8 tab2  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    figure1_report,
+    figure8_report,
+    figure9_report,
+    figure10_report,
+    figure11_report,
+    table1_report,
+    table2_report,
+    table3_report,
+)
+
+_EXHIBITS = {
+    "tab1": ("Table 1", table1_report),
+    "tab2": ("Table 2", table2_report),
+    "tab3": ("Table 3", table3_report),
+    "fig1": ("Figure 1", figure1_report),
+    "fig8": ("Figure 8", figure8_report),
+    "fig9": ("Figure 9", figure9_report),
+    "fig10": ("Figure 10", figure10_report),
+    "fig11": ("Figure 11", figure11_report),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate exhibits from 'GPU Triggered Networking for "
+                    "Intra-Kernel Communications' (SC17).")
+    parser.add_argument("exhibits", nargs="*", choices=[*_EXHIBITS, []],
+                        help=f"subset to run (default: all of {list(_EXHIBITS)})")
+    args = parser.parse_args(argv)
+    picks = args.exhibits or list(_EXHIBITS)
+    for key in picks:
+        name, fn = _EXHIBITS[key]
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        fn()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Analysis and reporting: render every paper table/figure as text.
+
+* :func:`~repro.analysis.tables.render_table` -- generic aligned-column
+  renderer used by all reports;
+* :mod:`~repro.analysis.report` -- one ``figure_N()`` / ``table_N()``
+  function per paper exhibit, each returning the rows it printed so the
+  benchmark harness can assert on them.
+"""
+
+from repro.analysis.report import (
+    figure1_report,
+    figure8_report,
+    figure9_report,
+    figure10_report,
+    figure11_report,
+    table1_report,
+    table2_report,
+    table3_report,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "figure1_report",
+    "figure8_report",
+    "figure9_report",
+    "figure10_report",
+    "figure11_report",
+    "render_table",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table; every cell is str()-ed."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells += [[str(c) for c in row] for row in rows]
+    n_cols = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (n_cols - len(r)))
+    widths = [max(len(r[i]) for r in cells) for i in range(n_cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    out.append(sep)
+    for r in cells[1:]:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode mini-chart for figure-shaped data in terminal reports."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[3] * len(values)
+    return "".join(
+        _BLOCKS[min(int((v - lo) / (hi - lo) * (len(_BLOCKS) - 1)),
+                    len(_BLOCKS) - 1)]
+        for v in values
+    )

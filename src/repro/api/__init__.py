@@ -1,0 +1,36 @@
+"""The GPU-TN programming model (paper Section 4).
+
+Two halves, mirroring the paper:
+
+* :mod:`~repro.api.host_api` -- the Figure 6 host-side flow
+  (``RdmaInit`` / ``TrigPut`` / ``GetTriggerAddr`` / ``LaunchKern``)
+  wrapped in :class:`~repro.api.host_api.GpuTnEndpoint`;
+* :mod:`~repro.api.kernel_api` -- kernel-program factories for every
+  granularity of Figure 7: work-item (7a), work-group (7b), kernel-level
+  (7c), the mixed granularity of §4.2.3, local-completion polling
+  (§4.2.4) and target-side notification (§4.2.5).
+
+The §3.4 *dynamic communication* extension (GPU contributes operation
+fields at trigger time) is exposed through
+:meth:`~repro.api.host_api.GpuTnEndpoint.register_dynamic` plus the
+``dynamic=True`` path of the kernel API.
+"""
+
+from repro.api.host_api import GpuTnEndpoint, TriggeredOp
+from repro.api.kernel_api import (
+    dynamic_target_kernel,
+    kernel_level_kernel,
+    mixed_granularity_kernel,
+    work_group_kernel,
+    work_item_kernel,
+)
+
+__all__ = [
+    "GpuTnEndpoint",
+    "TriggeredOp",
+    "dynamic_target_kernel",
+    "kernel_level_kernel",
+    "mixed_granularity_kernel",
+    "work_group_kernel",
+    "work_item_kernel",
+]

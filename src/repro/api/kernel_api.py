@@ -1,0 +1,157 @@
+"""Kernel-side GPU-TN API: the Figure 7 granularities as kernel factories.
+
+Each factory returns a kernel program (generator function over
+:class:`~repro.gpu.kernel.KernelContext`) that
+
+1. performs per-work-group compute (``work_ns`` or ``work_bytes`` per
+   group, optionally writing real data),
+2. makes the written buffers system-visible (barrier + release fence),
+3. triggers the NIC at the requested granularity, and
+4. optionally performs trailing compute ("do additional work").
+
+Factories and their paper sources:
+
+* :func:`work_item_kernel`      -- Figure 7a (one tag per work-item),
+* :func:`work_group_kernel`     -- Figure 7b (one tag per work-group,
+  leader work-item stores after a barrier),
+* :func:`kernel_level_kernel`   -- Figure 7c (single tag, NIC counter
+  synchronizes the whole kernel: threshold = #work-groups),
+* :func:`mixed_granularity_kernel` -- §4.2.3 (a tag per group of
+  ``group_span`` work-groups; threshold = ``group_span``).
+
+All take ``buffers`` (the send buffers to publish) and standard kernel
+arguments through the returned function's ``args``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.kernel import KernelContext
+from repro.memory import Buffer
+
+__all__ = [
+    "kernel_level_kernel",
+    "mixed_granularity_kernel",
+    "work_group_kernel",
+    "work_item_kernel",
+]
+
+
+def _do_work(ctx: KernelContext):
+    """Shared compute prologue driven by kernel args."""
+    work_ns = ctx.desc.args.get("work_ns", 0)
+    work_bytes = ctx.desc.args.get("work_bytes", 0)
+    fill = ctx.desc.args.get("fill")
+    buffers: Sequence[Buffer] = ctx.desc.args.get("buffers", ())
+    if fill is not None:
+        for buf in buffers:
+            per_wg = buf.nbytes // ctx.n_workgroups
+            if per_wg:
+                data = np.full(per_wg, fill, dtype=np.uint8)
+                ctx.write(buf, data, offset=ctx.wg_id * per_wg)
+    if work_bytes:
+        yield ctx.compute_bytes(work_bytes)
+    if work_ns:
+        yield ctx.compute(work_ns)
+
+
+def _publish(ctx: KernelContext):
+    """Barrier + system-scope release of the send buffers (§4.2.6)."""
+    buffers: Sequence[Buffer] = ctx.desc.args.get("buffers", ())
+    yield ctx.barrier()
+    yield ctx.fence_release_system(*buffers)
+
+
+def _trailing_work(ctx: KernelContext):
+    extra = ctx.desc.args.get("extra_work_ns", 0)
+    if extra:
+        yield ctx.compute(extra)
+
+
+def work_item_kernel(ctx: KernelContext):
+    """Figure 7a: every work-item triggers its own tag.
+
+    args: tag_base, buffers, work_ns/work_bytes, [items_per_group]
+    Tags are ``tag_base + global_item_id``; thresholds on the host side
+    are 1 per tag.
+    """
+    yield from _do_work(ctx)
+    # Work-item granularity uses a fence (no barrier needed: each item
+    # publishes independently).
+    buffers: Sequence[Buffer] = ctx.desc.args.get("buffers", ())
+    yield ctx.fence_release_system(*buffers)
+    n_items = ctx.desc.args.get("items_per_group", ctx.wg_size)
+    base = ctx.arg("tag_base") + ctx.wg_id * n_items
+    yield ctx.store_trigger_per_workitem(base, n_items)
+    yield from _trailing_work(ctx)
+
+
+def work_group_kernel(ctx: KernelContext):
+    """Figure 7b: the leader work-item of each group triggers one tag.
+
+    args: tag_base, buffers, work_ns/work_bytes
+    Tag is ``tag_base + wg_id``; host threshold 1 per tag.
+    """
+    yield from _do_work(ctx)
+    yield from _publish(ctx)
+    if ctx.is_leader:
+        yield ctx.store_trigger(ctx.arg("tag_base") + ctx.wg_id)
+    yield from _trailing_work(ctx)
+
+
+def kernel_level_kernel(ctx: KernelContext):
+    """Figure 7c: all groups store the *same* tag; the NIC counter fires
+    at threshold = n_workgroups, giving kernel-wide synchronization
+    without any GPU-side global barrier.
+
+    args: tag, buffers, work_ns/work_bytes
+    """
+    yield from _do_work(ctx)
+    yield from _publish(ctx)
+    if ctx.is_leader:
+        yield ctx.store_trigger(ctx.arg("tag"))
+    yield from _trailing_work(ctx)
+
+
+def mixed_granularity_kernel(ctx: KernelContext):
+    """Section 4.2.3: one message per ``group_span`` work-groups.
+
+    args: tag_base, group_span, buffers, work_ns/work_bytes
+    Tag is ``tag_base + wg_id // group_span``; host threshold is
+    ``group_span`` per tag.
+    """
+    span = ctx.arg("group_span")
+    if span <= 0:
+        raise ValueError(f"group_span must be positive, got {span}")
+    yield from _do_work(ctx)
+    yield from _publish(ctx)
+    if ctx.is_leader:
+        yield ctx.store_trigger(ctx.arg("tag_base") + ctx.wg_id // span)
+    yield from _trailing_work(ctx)
+
+
+def dynamic_target_kernel(ctx: KernelContext):
+    """Section 3.4 extension: the kernel picks the target node at run time
+    (e.g. data-dependent routing) via a wide dynamic trigger store.
+
+    args: tag, buffers, targets (list of node names), remote_addrs,
+          work_ns/work_bytes
+    The work-group id selects the destination: group g sends to
+    ``targets[g % len(targets)]``.
+    """
+    targets: List[str] = ctx.arg("targets")
+    remote_addrs: List[int] = ctx.arg("remote_addrs")
+    if len(targets) != len(remote_addrs):
+        raise ValueError("targets and remote_addrs must pair up")
+    yield from _do_work(ctx)
+    yield from _publish(ctx)
+    if ctx.is_leader:
+        pick = ctx.wg_id % len(targets)
+        yield ctx.store_trigger_dynamic(
+            ctx.arg("tag") + ctx.wg_id, target=targets[pick],
+            remote_addr=remote_addrs[pick],
+        )
+    yield from _trailing_work(ctx)

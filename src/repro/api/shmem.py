@@ -1,0 +1,149 @@
+"""An OpenSHMEM-flavored convenience layer over the simulated cluster.
+
+The paper's related work positions GPU networking against PGAS-style
+interfaces (CUDA-aware OpenSHMEM, NVSHMEM).  This module provides that
+familiar surface on top of this repository's primitives, so downstream
+users can write SHMEM-style programs against the simulator:
+
+* symmetric heap allocation (:meth:`ShmemContext.symmetric_alloc` gives
+  every PE a same-size buffer; addresses resolve per-PE),
+* ``put`` / ``get`` / ``put_signal`` one-sided operations,
+* ``quiet`` (wait for local completion of all pending puts),
+* ``wait_until`` (point-to-point synchronization on a flag word),
+* ``barrier_all`` built on the NIC-offloaded barrier.
+
+All methods that consume simulated time are generators for use inside
+simulation processes, mirroring the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.collectives.offload import nic_barrier
+from repro.memory import Buffer
+from repro.nic.device import PutHandle
+from repro.sim import AllOf, Event
+
+__all__ = ["ShmemContext", "SymmetricBuffer"]
+
+
+class SymmetricBuffer:
+    """One symmetric allocation: a same-size registered buffer on each PE."""
+
+    def __init__(self, per_pe: Dict[int, Buffer], name: str):
+        self.per_pe = per_pe
+        self.name = name
+        self.nbytes = per_pe[0].nbytes
+
+    def on(self, pe: int) -> Buffer:
+        try:
+            return self.per_pe[pe]
+        except KeyError:
+            raise KeyError(f"PE {pe} outside the job ({len(self.per_pe)} PEs)") \
+                from None
+
+    def view(self, pe: int, dtype=np.uint8) -> np.ndarray:
+        return self.on(pe).view(dtype)
+
+
+class ShmemContext:
+    """SHMEM-style operations for one PE (node)."""
+
+    def __init__(self, cluster: Cluster, pe: int):
+        self.cluster = cluster
+        self.pe = pe
+        self.node = cluster[pe]
+        self._pending: List[PutHandle] = []
+        self._barrier_seq = 0
+
+    # ------------------------------------------------------------ identity
+    @property
+    def my_pe(self) -> int:
+        return self.pe
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.cluster)
+
+    # ---------------------------------------------------------- allocation
+    @staticmethod
+    def symmetric_alloc(cluster: Cluster, nbytes: int,
+                        name: str = "symm") -> SymmetricBuffer:
+        """Allocate the same-size registered buffer on every PE."""
+        return SymmetricBuffer(
+            {pe: cluster[pe].host.alloc(nbytes, name=f"{name}.{pe}")
+             for pe in range(len(cluster))},
+            name=name)
+
+    # ------------------------------------------------------------- movement
+    def put(self, dest: SymmetricBuffer, data: np.ndarray, target_pe: int,
+            offset: int = 0):
+        """Non-blocking put of ``data`` into ``dest`` on ``target_pe``.
+
+        Generator; completion is deferred (track with :meth:`quiet`).
+        """
+        data = np.ascontiguousarray(data)
+        staging = self.node.host.alloc(data.nbytes, name="shmem.stage")
+        self.node.host.cpu_write(staging, data.view(np.uint8).reshape(-1))
+        if target_pe == self.pe:
+            self.node.host.cpu_write(dest.on(self.pe),
+                                     data.view(np.uint8).reshape(-1),
+                                     offset=offset)
+            yield self.node.sim.timeout(0)
+            return
+        handle = yield from self.node.host.put(
+            staging, data.nbytes, self.cluster[target_pe].name,
+            dest.on(target_pe).addr(offset))
+        self._pending.append(handle)
+
+    def put_signal(self, dest: SymmetricBuffer, data: np.ndarray,
+                   signal: SymmetricBuffer, target_pe: int):
+        """Put followed by a signal-word update visible to ``wait_until``
+        (delivery order on one path guarantees data-before-signal)."""
+        yield from self.put(dest, data, target_pe)
+        one = np.ones(1, dtype=np.uint32)
+        yield from self.put(signal, one, target_pe)
+
+    def get(self, source: SymmetricBuffer, nbytes: int, source_pe: int,
+            dtype=np.uint8):
+        """Blocking get: returns the fetched array."""
+        local = self.node.host.alloc(nbytes, name="shmem.get")
+        if source_pe == self.pe:
+            yield self.node.sim.timeout(0)
+            return source.view(self.pe, dtype)[: nbytes // np.dtype(dtype).itemsize].copy()
+        handle = self.node.nic.post_get(local.addr(), nbytes,
+                                        self.cluster[source_pe].name,
+                                        source.on(source_pe).addr())
+        yield handle.complete
+        return local.view(dtype)
+
+    # ------------------------------------------------------- synchronization
+    def quiet(self):
+        """Wait until every pending put has completed locally."""
+        pending, self._pending = self._pending, []
+        if pending:
+            yield AllOf(self.node.sim, [h.local for h in pending])
+
+    def wait_until(self, flag: SymmetricBuffer, at_least: int = 1,
+                   offset: int = 0):
+        """Spin on a local uint32 flag word (shmem_wait_until GE)."""
+        value = yield from self.node.host.poll_flag(flag.on(self.pe),
+                                                    offset=offset,
+                                                    at_least=at_least)
+        return value
+
+
+def shmem_barrier_all(cluster: Cluster) -> Dict[int, Event]:
+    """Arm and enter a cluster-wide barrier from the host on every PE;
+    returns the per-PE release events (NIC-offloaded tree)."""
+    handles = nic_barrier(cluster,
+                          wire_base=0x3900 + len(cluster),
+                          trig_base=0x7800 + len(cluster))
+    for pe in range(len(cluster)):
+        nic = cluster[pe].nic
+        nic.mmio_write(nic.trigger_address, handles.enter_tag[pe])
+    return handles.released

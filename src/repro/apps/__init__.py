@@ -1,0 +1,31 @@
+"""The paper's evaluation applications.
+
+* :mod:`~repro.apps.launch_study` -- the Figure 1 kernel-launch study;
+* :mod:`~repro.apps.microbench` -- the Section 5.2 latency microbenchmark
+  and its Figure 8 decomposition;
+* :mod:`~repro.apps.jacobi` -- the Section 5.3 2D Jacobi relaxation with
+  halo exchange (Figure 9);
+* :mod:`~repro.apps.allreduce_bench` -- the Section 5.4.1 ring Allreduce
+  strong-scaling study (Figure 10);
+* :mod:`~repro.apps.deeplearning` -- the Section 5.4.2 deep-learning
+  projection (Table 3 workloads, Figure 11).
+"""
+
+from repro.apps.allreduce_bench import run_allreduce, strong_scaling_study
+from repro.apps.deeplearning import WORKLOADS, project_deep_learning
+from repro.apps.jacobi import JacobiResult, jacobi_reference, run_jacobi
+from repro.apps.launch_study import measure_launch_latency
+from repro.apps.microbench import MicrobenchResult, run_microbenchmark
+
+__all__ = [
+    "JacobiResult",
+    "MicrobenchResult",
+    "WORKLOADS",
+    "jacobi_reference",
+    "measure_launch_latency",
+    "project_deep_learning",
+    "run_allreduce",
+    "run_jacobi",
+    "run_microbenchmark",
+    "strong_scaling_study",
+]

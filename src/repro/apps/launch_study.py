@@ -1,0 +1,45 @@
+"""The Figure 1 kernel-launch-latency study.
+
+Reproduces the paper's methodology: present a variable-length sequence of
+*empty* kernels to the GPU hardware scheduler at once and measure the
+average per-kernel cost.  Three anonymized scheduler models
+(:data:`repro.gpu.dispatcher.FIGURE1_GPUS`) span the 3-20 us envelope the
+paper measured across vendors and form factors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.config import SystemConfig, default_config
+from repro.gpu.dispatcher import LaunchLatencyModel
+from repro.gpu.kernel import KernelDescriptor
+
+__all__ = ["measure_launch_latency"]
+
+
+def _empty_kernel(ctx):
+    return
+    yield  # pragma: no cover - generator marker
+
+
+def measure_launch_latency(config: Optional[SystemConfig] = None,
+                           launch_model: Optional[LaunchLatencyModel] = None,
+                           queue_depth: int = 1) -> float:
+    """Mean per-kernel latency (ns) with ``queue_depth`` kernels enqueued
+    at once on a single simulated GPU."""
+    if queue_depth < 1:
+        raise ValueError(f"queue depth must be >= 1, got {queue_depth}")
+    config = config or default_config()
+    cluster = Cluster(n_nodes=1, config=config, launch_model=launch_model,
+                      trace=False)
+    gpu = cluster[0].gpu
+    assert gpu is not None
+    instances = [
+        gpu.launch(KernelDescriptor(fn=_empty_kernel, n_workgroups=1,
+                                    name=f"empty{i}"))
+        for i in range(queue_depth)
+    ]
+    end = cluster.sim.run_until_event(instances[-1].finished)
+    return end / queue_depth

@@ -1,0 +1,55 @@
+"""Message-size latency/bandwidth sweep.
+
+Not a paper exhibit, but the standard first plot for any networking
+stack: one-sided put latency and achieved bandwidth as a function of
+message size, per strategy.  Useful for sanity-checking the calibration
+(small messages are overhead-bound; large ones saturate the 100 Gbps
+link) and for users exploring their own configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.microbench import run_microbenchmark
+from repro.config import KB, MB, SystemConfig, default_config
+
+__all__ = ["SweepPoint", "size_sweep"]
+
+DEFAULT_SIZES = (64, 1 * KB, 16 * KB, 256 * KB, 1 * MB, 8 * MB)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    nbytes: int
+    latency_ns: int
+    bandwidth_gbps: float
+
+    @classmethod
+    def from_run(cls, nbytes: int, latency_ns: int) -> "SweepPoint":
+        gbps = (8.0 * nbytes / latency_ns) if latency_ns else 0.0
+        return cls(nbytes=nbytes, latency_ns=latency_ns, bandwidth_gbps=gbps)
+
+
+def size_sweep(config: Optional[SystemConfig] = None,
+               strategy: str = "gputn",
+               sizes: Sequence[int] = DEFAULT_SIZES) -> List[SweepPoint]:
+    """Sweep message sizes for one strategy; latency is target completion
+    measured from kernel-launch start (Figure 8 time base)."""
+    config = config or default_config()
+    points = []
+    for nbytes in sizes:
+        result = run_microbenchmark(config, strategy, nbytes=nbytes)
+        if not result.payload_ok:
+            raise AssertionError(f"payload corrupted at {nbytes} B")
+        points.append(SweepPoint.from_run(
+            nbytes, result.normalized_target_completion_ns))
+    return points
+
+
+def sweep_all(config: Optional[SystemConfig] = None,
+              strategies: Sequence[str] = ("hdn", "gds", "gputn"),
+              sizes: Sequence[int] = DEFAULT_SIZES
+              ) -> Dict[str, List[SweepPoint]]:
+    return {s: size_sweep(config, s, sizes) for s in strategies}

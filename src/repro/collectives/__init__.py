@@ -1,0 +1,32 @@
+"""Non-blocking collectives (paper Section 5.4).
+
+Modeled on libNBC, the library the paper extends: a collective is compiled
+into a per-rank *schedule* -- rounds of send/recv/reduce subtasks with
+dependencies only between rounds -- and an executor steps through the
+schedule.  Schedule creation "maps perfectly to the triggered operation
+semantics in GPU-TN": the GPU-TN executor lowers every send to a
+pre-registered triggered put fired from inside a single persistent kernel.
+
+* :mod:`~repro.collectives.schedule` -- schedule IR + builders (ring
+  Allreduce of Figure 2, plus reduce-scatter/allgather pieces);
+* :mod:`~repro.collectives.ring` -- per-strategy executors over a
+  :class:`~repro.cluster.Cluster`.
+"""
+
+from repro.collectives.offload import nic_barrier, nic_broadcast
+from repro.collectives.ring import AllreduceResult, run_ring_allreduce
+from repro.collectives.schedule import (
+    CollectiveSchedule,
+    ScheduleOp,
+    ring_allreduce_schedule,
+)
+
+__all__ = [
+    "AllreduceResult",
+    "CollectiveSchedule",
+    "ScheduleOp",
+    "nic_barrier",
+    "nic_broadcast",
+    "ring_allreduce_schedule",
+    "run_ring_allreduce",
+]

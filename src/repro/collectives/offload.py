@@ -1,0 +1,208 @@
+"""NIC-offloaded collectives: broadcast and barrier from chained triggers.
+
+Triggered operations were introduced "as a way to build efficient
+sequences of operations that can be progressed by the NIC" and "have been
+shown to be effective for implementing collective operations"
+(paper Section 6, citing Underwood et al.).  This module builds the two
+canonical offloaded collectives on this repository's NIC:
+
+* :func:`nic_broadcast` -- a binomial-tree broadcast where every interior
+  node's *forwarding puts are pre-registered triggered operations chained
+  on the arrival itself* (``Nic.chain_rx_trigger``): after setup, the
+  payload hops NIC-to-NIC with no CPU or GPU on the critical path.
+* :func:`nic_barrier` -- a gather tree of zero-byte puts (each interior
+  node's put to its parent fires when all children + its own entry have
+  counted) followed by a chained zero-byte release broadcast.  Nodes may
+  enter the barrier from the host *or from inside a GPU kernel* (a
+  trigger store), which is how the paper suggests building "more complex
+  semantics such as execution barriers" from its primitives (§4.2.5).
+
+Both return per-node completion events and are verified end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.memory import Agent, Buffer
+from repro.sim import Event
+
+__all__ = ["BarrierHandles", "BroadcastHandles", "nic_barrier", "nic_broadcast"]
+
+
+# --------------------------------------------------------------------------
+# Binomial tree helpers
+# --------------------------------------------------------------------------
+
+def tree_children(rank: int, n: int) -> List[int]:
+    """Binomial-tree children of ``rank`` in a 0-rooted tree of ``n``."""
+    if not 0 <= rank < n:
+        raise ValueError(f"rank {rank} outside tree of {n}")
+    children = []
+    mask = 1
+    while mask < n:
+        if rank & mask:
+            break
+        child = rank | mask
+        if child < n:
+            children.append(child)
+        mask <<= 1
+    return children
+
+
+def tree_parent(rank: int) -> int:
+    """Binomial-tree parent (undefined for rank 0)."""
+    if rank == 0:
+        raise ValueError("root has no parent")
+    return rank & (rank - 1)
+
+
+# --------------------------------------------------------------------------
+# Broadcast
+# --------------------------------------------------------------------------
+
+@dataclass
+class BroadcastHandles:
+    """Per-node reception events for one offloaded broadcast."""
+
+    root: int
+    received: Dict[int, Event]
+    buffers: Dict[int, Buffer]
+
+
+def nic_broadcast(cluster: Cluster, payload: np.ndarray,
+                  root: int = 0, wire_base: int = 0x3000,
+                  trig_base: int = 0x6000) -> BroadcastHandles:
+    """Set up and start a NIC-offloaded binomial broadcast of ``payload``.
+
+    Every non-root node pre-registers triggered puts to its children,
+    chained on its own arrival; the root's puts are posted immediately.
+    Completion events fire as each node's copy lands.  Call
+    ``cluster.run()`` (or run until the events) afterwards.
+    """
+    n = len(cluster)
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} outside cluster of {n}")
+    if root != 0:
+        raise NotImplementedError("offload tree is 0-rooted; renumber ranks")
+    data = np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
+    nbytes = data.size
+
+    buffers: Dict[int, Buffer] = {}
+    received: Dict[int, Event] = {}
+    for r in range(n):
+        buf = cluster[r].host.alloc(nbytes, name=f"bcast.{r}")
+        buffers[r] = buf
+        if r == root:
+            cluster[r].host.cpu_write(buf, data)
+            ev = cluster.sim.event(f"bcast-root")
+            ev.succeed(0)
+            received[r] = ev
+        else:
+            received[r] = cluster[r].nic.watch_rx(wire_base + r)
+
+    # Pre-register forwarding on every interior non-root node, chained on
+    # its own arrival.
+    for r in range(1, n):
+        children = tree_children(r, n)
+        if not children:
+            continue
+        nic = cluster[r].nic
+        for child in children:
+            nic.register_triggered_put(
+                tag=trig_base + child, threshold=1,
+                local_addr=buffers[r].base, nbytes=nbytes,
+                target=cluster[child].name,
+                remote_addr=buffers[child].base,
+                wire_tag=wire_base + child)
+            nic.chain_rx_trigger(wire_base + r, trig_base + child)
+
+    # Kick off: the root sends to its children directly.
+    for child in tree_children(root, n):
+        cluster[root].nic.post_put(buffers[root].base, nbytes,
+                                   cluster[child].name, buffers[child].base,
+                                   wire_tag=wire_base + child)
+    return BroadcastHandles(root=root, received=received, buffers=buffers)
+
+
+# --------------------------------------------------------------------------
+# Barrier
+# --------------------------------------------------------------------------
+
+@dataclass
+class BarrierHandles:
+    """Per-node events for one offloaded barrier."""
+
+    #: fires at a node when every node has entered (the release arrives)
+    released: Dict[int, Event]
+    #: the tag each node stores (from host or GPU kernel) to *enter*
+    enter_tag: Dict[int, int]
+
+
+def nic_barrier(cluster: Cluster, wire_base: int = 0x3800,
+                trig_base: int = 0x7000) -> BarrierHandles:
+    """Arm a NIC-offloaded barrier across the whole cluster.
+
+    Gather: each interior node's zero-byte put to its parent fires when
+    all of its children's puts have arrived *and* the node itself entered
+    (one local trigger write).  Release: a chained zero-byte broadcast
+    from the root.  Enter node ``r`` by storing ``enter_tag[r]`` to its
+    NIC trigger address -- from the host or from a GPU kernel.
+    """
+    n = len(cluster)
+    if n < 2:
+        raise ValueError("barrier needs at least 2 nodes")
+    released: Dict[int, Event] = {}
+    enter_tag: Dict[int, int] = {}
+    zero: Dict[int, Buffer] = {}
+    for r in range(n):
+        zero[r] = cluster[r].host.alloc(4, name=f"bar.{r}")
+
+    up_tag = lambda r: wire_base + r          # gather arrivals at parent r
+    down_tag = lambda r: wire_base + 0x400 + r  # release arrival at r
+
+    for r in range(n):
+        nic = cluster[r].nic
+        children = tree_children(r, n)
+        enter_tag[r] = trig_base + r
+        if r == 0:
+            # Root: when all children + self have counted, release every
+            # child with one fan-out of zero-byte puts.
+            threshold = len(children) + 1
+            entry = nic.register_triggered_fanout(
+                tag=enter_tag[r], threshold=threshold,
+                puts=[{"local_addr": zero[r].base, "nbytes": 0,
+                       "target": cluster[child].name,
+                       "remote_addr": zero[child].base,
+                       "wire_tag": down_tag(child)}
+                      for child in children])
+            nic.chain_rx_trigger(up_tag(r), enter_tag[r])
+            # The root is released the moment its counter fires.
+            ev = cluster.sim.event("bar-root-released")
+            nic.fanout_handles(entry)[0].local.callbacks.append(
+                lambda _e, ev=ev: ev.succeed(cluster.sim.now))
+            released[r] = ev
+        else:
+            # Interior/leaf: put to parent once children + self counted.
+            threshold = len(children) + 1
+            parent = tree_parent(r)
+            nic.register_triggered_put(
+                tag=enter_tag[r], threshold=threshold,
+                local_addr=zero[r].base, nbytes=0,
+                target=cluster[parent].name, remote_addr=zero[parent].base,
+                wire_tag=up_tag(parent))
+            nic.chain_rx_trigger(up_tag(r), enter_tag[r])
+            # Release: forward downward to children, chained on arrival.
+            for child in children:
+                nic.register_triggered_put(
+                    tag=trig_base + 0x400 + child, threshold=1,
+                    local_addr=zero[r].base, nbytes=0,
+                    target=cluster[child].name, remote_addr=zero[child].base,
+                    wire_tag=down_tag(child))
+                nic.chain_rx_trigger(down_tag(r), trig_base + 0x400 + child)
+            released[r] = nic.watch_rx(down_tag(r))
+    return BarrierHandles(released=released, enter_tag=enter_tag)

@@ -1,0 +1,37 @@
+"""GPU device model.
+
+Simulates the paper's Table 2 GPU (1 GHz, 24 CUs) at **work-group
+granularity**: each work-group is a simulation process that executes a
+*kernel program* -- a Python generator mirroring the OpenCL kernels of
+paper Figure 7 (compute, work-group barriers, system-scope fences and
+atomics, NIC trigger stores, flag polling).
+
+The front-end hardware scheduler (:mod:`~repro.gpu.dispatcher`) charges
+the kernel launch/teardown latencies that motivate the whole paper
+(Figure 1 / Table 2), processes in-memory command queues in order, and
+implements the GDS-style kernel-boundary doorbell.
+"""
+
+from repro.gpu.device import Gpu, KernelInstance
+from repro.gpu.dispatcher import (
+    FIGURE1_GPUS,
+    ConstantLaunchModel,
+    LaunchLatencyModel,
+    QueueDepthLaunchModel,
+)
+from repro.gpu.kernel import KernelContext, KernelDescriptor
+from repro.gpu.queue import CommandQueue, DoorbellCommand, KernelDispatchCommand
+
+__all__ = [
+    "CommandQueue",
+    "ConstantLaunchModel",
+    "DoorbellCommand",
+    "FIGURE1_GPUS",
+    "Gpu",
+    "KernelContext",
+    "KernelDescriptor",
+    "KernelDispatchCommand",
+    "KernelInstance",
+    "LaunchLatencyModel",
+    "QueueDepthLaunchModel",
+]

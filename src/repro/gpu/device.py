@@ -1,0 +1,139 @@
+"""The GPU device: front-end scheduler plus compute units.
+
+Work-groups are simulation processes; at most one work-group occupies a
+compute unit at a time (a deliberate simplification -- see DESIGN.md §5 --
+that also mirrors the occupancy requirement persistent kernels place on
+real hardware: a persistent kernel must fit entirely on the device or its
+polling work-groups deadlock).
+
+The front end consumes one :class:`~repro.gpu.queue.CommandQueue` in
+order: kernels pay launch latency, execute all work-groups, pay teardown;
+doorbell commands ring the NIC at the kernel boundary (the GDS model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import SystemConfig
+from repro.gpu.dispatcher import ConstantLaunchModel, LaunchLatencyModel
+from repro.gpu.kernel import KernelContext, KernelDescriptor
+from repro.gpu.queue import CommandQueue, DoorbellCommand, KernelDispatchCommand
+from repro.sim import AllOf, Event, Resource, Simulator, Tracer
+
+__all__ = ["Gpu", "KernelInstance"]
+
+
+class KernelInstance:
+    """A launched kernel: join on ``started`` / ``finished``."""
+
+    def __init__(self, cmd: KernelDispatchCommand):
+        self._cmd = cmd
+        self.desc = cmd.desc
+
+    @property
+    def started(self) -> Event:
+        return self._cmd.started
+
+    @property
+    def finished(self) -> Event:
+        return self._cmd.finished
+
+
+class Gpu:
+    """One GPU device on a node."""
+
+    def __init__(self, sim: Simulator, node: str, config: SystemConfig,
+                 space, mem, nic, tracer: Optional[Tracer] = None,
+                 launch_model: Optional[LaunchLatencyModel] = None):
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self.space = space
+        self.mem = mem
+        self.nic = nic
+        self.tracer = tracer or Tracer(enabled=False)
+        self.launch_model = launch_model or ConstantLaunchModel.from_config(config.kernel)
+        self.queue = CommandQueue(sim, name=f"{node}.gpuq")
+        self.cus = Resource(sim, capacity=config.gpu.compute_units,
+                            name=f"{node}.cus")
+        self.stats = {"kernels": 0, "workgroups": 0, "doorbells": 0}
+        sim.spawn(self._front_end(), name=f"{node}.gpu.frontend")
+
+    # ------------------------------------------------------------ dispatch
+    def launch(self, desc: KernelDescriptor) -> KernelInstance:
+        """Enqueue a kernel dispatch (the HW-side half of a launch; the
+        host runtime charges its own software cost before calling this)."""
+        if desc.args.get("persistent") and desc.n_workgroups > self.cus.capacity:
+            raise ValueError(
+                f"persistent kernel {desc.name!r} needs {desc.n_workgroups} "
+                f"work-groups but only {self.cus.capacity} CUs exist; "
+                "it would deadlock on real hardware"
+            )
+        return KernelInstance(self.queue.submit_kernel(desc))
+
+    def enqueue_doorbell(self, handle) -> DoorbellCommand:
+        """Queue a kernel-boundary NIC doorbell behind earlier commands
+        (the GDS mechanism)."""
+        return self.queue.submit_doorbell(handle)
+
+    # ------------------------------------------------------------ internals
+    def _front_end(self):
+        while True:
+            cmd = yield self.queue.pop()
+            if isinstance(cmd, KernelDispatchCommand):
+                yield from self._run_kernel(cmd)
+            elif isinstance(cmd, DoorbellCommand):
+                self.nic.ring_doorbell(cmd.handle)
+                self.stats["doorbells"] += 1
+                cmd.rung.succeed(self.sim.now)
+            else:  # pragma: no cover - future command types
+                raise TypeError(f"unknown GPU command {cmd!r}")
+
+    def _run_kernel(self, cmd: KernelDispatchCommand):
+        desc = cmd.desc
+        depth = self.queue.depth + 1  # this command plus whatever is behind it
+        self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-launch",
+                          kernel=desc.name)
+        yield self.sim.timeout(self.launch_model.launch_ns(depth))
+        self.tracer.end(self.sim.now, self.node, "gpu", "kernel-launch",
+                        kernel=desc.name)
+        cmd.started.succeed(self.sim.now)
+
+        self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-exec",
+                          kernel=desc.name)
+        workgroups: List[Event] = [
+            self.sim.spawn(self._workgroup(desc, wg_id),
+                           name=f"{desc.name}.wg{wg_id}")
+            for wg_id in range(desc.n_workgroups)
+        ]
+        try:
+            yield AllOf(self.sim, workgroups)
+        except BaseException as exc:
+            # A kernel fault: propagate to whoever joins on the kernel and
+            # keep the front end alive for subsequent commands.
+            self.tracer.end(self.sim.now, self.node, "gpu", "kernel-exec",
+                            kernel=desc.name, fault=repr(exc))
+            cmd.finished.fail(exc)
+            return
+        self.tracer.end(self.sim.now, self.node, "gpu", "kernel-exec",
+                        kernel=desc.name)
+
+        self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-teardown",
+                          kernel=desc.name)
+        yield self.sim.timeout(self.launch_model.teardown_ns(depth))
+        self.tracer.end(self.sim.now, self.node, "gpu", "kernel-teardown",
+                        kernel=desc.name)
+        self.stats["kernels"] += 1
+        cmd.finished.succeed(self.sim.now)
+
+    def _workgroup(self, desc: KernelDescriptor, wg_id: int):
+        yield self.cus.acquire()
+        try:
+            ctx = KernelContext(self.sim, self, desc, wg_id)
+            gen = desc.fn(ctx)
+            if gen is not None and hasattr(gen, "send"):
+                yield from gen
+            self.stats["workgroups"] += 1
+        finally:
+            self.cus.release()

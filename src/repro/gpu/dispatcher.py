@@ -1,0 +1,113 @@
+"""Front-end hardware scheduler launch-latency models (paper Figure 1).
+
+The paper measures empty-kernel launch latency on three modern GPUs as a
+function of how many kernel commands are presented to the hardware
+scheduler at once: 3-20 us per kernel at shallow queue depths, amortizing
+toward a 3-4 us floor as the scheduler pipelines deeper queues.
+
+:class:`QueueDepthLaunchModel` captures that envelope:
+
+    per_kernel_ns(depth) = floor_ns + ramp_ns / depth**alpha
+
+and :data:`FIGURE1_GPUS` provides three calibrated instances ("GPU 1..3",
+vendor-anonymous like the paper).  The evaluation configuration
+(Table 2) instead fixes launch/teardown at 1.5 us each --
+:class:`ConstantLaunchModel` -- chosen by the authors as "some of the more
+optimistic numbers" from the Figure 1 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import KernelLatencyConfig, US
+
+__all__ = [
+    "ConstantLaunchModel",
+    "FIGURE1_GPUS",
+    "LaunchLatencyModel",
+    "QueueDepthLaunchModel",
+]
+
+
+class LaunchLatencyModel:
+    """Per-kernel launch/teardown latency as a function of queue depth."""
+
+    def launch_ns(self, queue_depth: int) -> int:
+        raise NotImplementedError
+
+    def teardown_ns(self, queue_depth: int) -> int:
+        raise NotImplementedError
+
+    def round_trip_ns(self, queue_depth: int) -> int:
+        """Launch + teardown for one kernel at the given depth."""
+        return self.launch_ns(queue_depth) + self.teardown_ns(queue_depth)
+
+
+@dataclass(frozen=True)
+class ConstantLaunchModel(LaunchLatencyModel):
+    """Fixed costs -- the Table 2 evaluation calibration."""
+
+    launch: int = 1500
+    teardown: int = 1500
+
+    @classmethod
+    def from_config(cls, cfg: KernelLatencyConfig) -> "ConstantLaunchModel":
+        return cls(launch=cfg.launch_ns, teardown=cfg.teardown_ns)
+
+    def launch_ns(self, queue_depth: int) -> int:
+        _check_depth(queue_depth)
+        return self.launch
+
+    def teardown_ns(self, queue_depth: int) -> int:
+        _check_depth(queue_depth)
+        return self.teardown
+
+
+@dataclass(frozen=True)
+class QueueDepthLaunchModel(LaunchLatencyModel):
+    """Amortizing model for the Figure 1 study.
+
+    ``floor_ns`` is the asymptotic per-kernel cost at deep queues;
+    ``ramp_ns`` the extra cost with a single queued kernel; ``alpha``
+    controls how quickly pipelining amortizes it.  Launch and teardown
+    split the total evenly, matching how Table 2 splits 3 us.
+    """
+
+    name: str
+    floor_ns: int
+    ramp_ns: int
+    alpha: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.floor_ns <= 0 or self.ramp_ns < 0 or self.alpha <= 0:
+            raise ValueError(f"invalid launch model parameters: {self}")
+
+    def per_kernel_ns(self, queue_depth: int) -> int:
+        _check_depth(queue_depth)
+        return int(round(self.floor_ns + self.ramp_ns / queue_depth ** self.alpha))
+
+    def launch_ns(self, queue_depth: int) -> int:
+        return self.per_kernel_ns(queue_depth) // 2
+
+    def teardown_ns(self, queue_depth: int) -> int:
+        return self.per_kernel_ns(queue_depth) - self.launch_ns(queue_depth)
+
+
+def _check_depth(queue_depth: int) -> None:
+    if queue_depth < 1:
+        raise ValueError(f"queue depth must be >= 1, got {queue_depth}")
+
+
+#: Three anonymized GPUs calibrated to the Figure 1 envelope:
+#: GPU 1 falls from ~20 us at depth 1 toward ~4 us at depth 256;
+#: GPU 2 from ~8 us toward ~4 us; GPU 3 sits near the 3-4 us floor.
+FIGURE1_GPUS: Dict[str, QueueDepthLaunchModel] = {
+    "GPU 1": QueueDepthLaunchModel("GPU 1", floor_ns=int(3.8 * US),
+                                   ramp_ns=int(16.2 * US), alpha=0.85),
+    "GPU 2": QueueDepthLaunchModel("GPU 2", floor_ns=int(3.9 * US),
+                                   ramp_ns=int(4.1 * US), alpha=0.7),
+    "GPU 3": QueueDepthLaunchModel("GPU 3", floor_ns=int(3.1 * US),
+                                   ramp_ns=int(0.9 * US), alpha=0.6),
+}

@@ -1,0 +1,84 @@
+"""In-memory GPU command queues (HSA soft queues, CUDA streams).
+
+The host runtime enqueues commands; the GPU front-end scheduler consumes
+them in order.  Two command types matter for the paper:
+
+* :class:`KernelDispatchCommand` -- launch a kernel;
+* :class:`DoorbellCommand` -- ring a NIC doorbell for a pre-posted network
+  operation once all earlier commands have retired.  This is how GDS
+  interleaves "network initiation points ... into CUDA streams at kernel
+  boundaries".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.kernel import KernelDescriptor
+from repro.sim import Event, Simulator, Store
+
+__all__ = ["CommandQueue", "DoorbellCommand", "KernelDispatchCommand"]
+
+_cmd_ids = itertools.count(1)
+
+
+@dataclass
+class _Command:
+    cmd_id: int = field(default_factory=lambda: next(_cmd_ids), init=False)
+
+
+@dataclass
+class KernelDispatchCommand(_Command):
+    """An AQL kernel-dispatch packet."""
+
+    desc: KernelDescriptor
+    #: fires when the kernel begins executing (post-launch-latency)
+    started: Optional[Event] = None
+    #: fires when the kernel has fully retired (post-teardown)
+    finished: Optional[Event] = None
+
+
+@dataclass
+class DoorbellCommand(_Command):
+    """Ring a NIC doorbell for a staged operation at a kernel boundary."""
+
+    handle: object  # PutHandle; kept loose to avoid a nic import cycle
+    #: fires when the doorbell has been rung
+    rung: Optional[Event] = None
+
+
+class CommandQueue:
+    """One in-order command stream feeding a GPU front end."""
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, name=name)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def submit_kernel(self, desc: KernelDescriptor) -> KernelDispatchCommand:
+        cmd = KernelDispatchCommand(
+            desc=desc,
+            started=self.sim.event(f"started:{desc.name}"),
+            finished=self.sim.event(f"finished:{desc.name}"),
+        )
+        self._store.try_put(cmd)
+        return cmd
+
+    def submit_doorbell(self, handle) -> DoorbellCommand:
+        cmd = DoorbellCommand(handle=handle, rung=self.sim.event("doorbell"))
+        self._store.try_put(cmd)
+        return cmd
+
+    def pop(self) -> Event:
+        """Blocking get used by the GPU front end."""
+        return self._store.get()
+
+    @property
+    def depth(self) -> int:
+        """Commands currently waiting (excluding any being processed)."""
+        return len(self._store)

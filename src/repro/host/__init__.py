@@ -1,0 +1,14 @@
+"""Host CPU model and runtimes.
+
+The CPU performs the *serial* work the paper keeps off the GPU: network
+packet construction, NIC command posting, kernel dispatch software paths,
+two-sided progress, and whole-application compute for the CPU-only
+baseline.  Costs come from :class:`repro.config.CpuConfig` and are charged
+by generator helpers used inside strategy processes (``yield from
+host.send(...)``), with core occupancy tracked through a semaphore so
+helper-thread designs can be modeled and measured.
+"""
+
+from repro.host.runtime import Host
+
+__all__ = ["Host"]

@@ -1,0 +1,94 @@
+"""Cache/DRAM access-latency estimation.
+
+The compute cost models (Jacobi stencil, Allreduce arithmetic, vector
+copies) need first-order memory timing: how long does it take an agent to
+stream ``n`` bytes given its cache hierarchy?  We use the classic
+working-set model: traffic that fits in a cache level is served at that
+level's latency/bandwidth; larger working sets spill to the next level and
+ultimately to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import CacheConfig, CpuConfig, GpuConfig, MemoryConfig
+
+__all__ = ["MemoryTiming"]
+
+
+@dataclass(frozen=True)
+class _Level:
+    name: str
+    capacity: int
+    latency_ns: float
+    bytes_per_ns: float
+
+
+class MemoryTiming:
+    """Working-set based streaming-time estimator for one agent."""
+
+    def __init__(self, levels: List[_Level], dram: _Level):
+        if not levels:
+            raise ValueError("at least one cache level required")
+        self.levels = sorted(levels, key=lambda lv: lv.capacity)
+        self.dram = dram
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def for_cpu(cls, cpu: CpuConfig, mem: MemoryConfig) -> "MemoryTiming":
+        def lv(name: str, c: CacheConfig, bw: float) -> _Level:
+            return _Level(name, c.size_bytes, c.latency_cycles / cpu.freq_ghz, bw)
+
+        # Bandwidths decrease down the hierarchy; L3 stays above DRAM so
+        # stream time is monotone in working-set size.
+        return cls(
+            [
+                lv("L1", cpu.l1d, 512.0),
+                lv("L2", cpu.l2, 256.0),
+                lv("L3", cpu.l3, 160.0),
+            ],
+            _Level("DRAM", 1 << 62, mem.latency_ns, mem.bytes_per_ns),
+        )
+
+    @classmethod
+    def for_gpu(cls, gpu: GpuConfig, mem: MemoryConfig) -> "MemoryTiming":
+        def lv(name: str, c: CacheConfig, bw: float) -> _Level:
+            return _Level(name, c.size_bytes * gpu.compute_units if name == "L1" else c.size_bytes,
+                          c.latency_cycles / gpu.freq_ghz, bw)
+
+        return cls(
+            [
+                lv("L1", gpu.l1d, 512.0),
+                lv("L2", gpu.l2, 256.0),
+            ],
+            _Level("DRAM", 1 << 62, mem.latency_ns, mem.bytes_per_ns),
+        )
+
+    # ------------------------------------------------------------ estimates
+    def serving_level(self, working_set_bytes: int) -> _Level:
+        """The cache level that holds a working set of the given size."""
+        for lv in self.levels:
+            if working_set_bytes <= lv.capacity:
+                return lv
+        return self.dram
+
+    def stream_ns(self, nbytes: int, working_set_bytes: int | None = None) -> int:
+        """Time to stream ``nbytes`` with the given (or equal) working set."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        if nbytes == 0:
+            return 0
+        lv = self.serving_level(working_set_bytes if working_set_bytes is not None else nbytes)
+        return int(round(lv.latency_ns + nbytes / lv.bytes_per_ns))
+
+    def access_ns(self, nbytes: int = 64, working_set_bytes: int | None = None) -> int:
+        """Latency of one access touching ``nbytes`` (default: a line)."""
+        lv = self.serving_level(working_set_bytes if working_set_bytes is not None else nbytes)
+        return int(round(lv.latency_ns + nbytes / lv.bytes_per_ns))
+
+    def breakdown(self, nbytes: int) -> Tuple[str, int]:
+        """(level name, stream time) -- used in reporting/tests."""
+        lv = self.serving_level(nbytes)
+        return lv.name, self.stream_ns(nbytes)

@@ -1,0 +1,22 @@
+"""Network fabric substrate.
+
+Models the paper's Table 2 network: a single-switch star with 100 ns link
+latency, 100 ns switch latency and 100 Gbps links, using *cut-through*
+(wormhole) message timing: a message of ``n`` bytes from A to B arrives
+
+    ser(n) + 2 x link + switch   ns
+
+after it enters A's egress port, where ``ser(n) = n / 12.5 bytes-per-ns``.
+Port contention is modeled exactly at the endpoints (egress serialization
+at the source, ingress serialization at the destination), which is where
+all contention in the paper's star topology occurs.
+
+General topologies (multi-switch paths, built on ``networkx``) are
+supported for extension studies; per-hop latencies add along the path.
+"""
+
+from repro.net.fabric import DeliveredMessage, Fabric
+from repro.net.packet import Message
+from repro.net.topology import StarTopology, Topology
+
+__all__ = ["DeliveredMessage", "Fabric", "Message", "StarTopology", "Topology"]

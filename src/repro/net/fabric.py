@@ -1,0 +1,122 @@
+"""The fabric: message transport with cut-through timing and port contention.
+
+Timing model (see package docstring): for a message of ``n`` bytes,
+
+* the source **egress port** is occupied for ``ser(n)`` starting when the
+  message reaches the head of that port's queue;
+* the head of the message propagates along the path
+  (``topology.path_latency_ns``);
+* the destination **ingress port** is occupied for ``ser(n)`` starting
+  when the head arrives (or when the port frees, whichever is later);
+* the message is *delivered* (last byte in target memory) when ingress
+  occupation ends.
+
+This reproduces the uncontended latency ``ser(n) + 2*link + switch`` of
+the paper's star while serializing concurrent senders at the endpoints --
+the only contention points of a star with a non-blocking switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.config import NetworkConfig
+from repro.net.packet import Message
+from repro.net.topology import Topology
+from repro.sim import Event, Simulator, Tracer
+
+__all__ = ["DeliveredMessage", "Fabric"]
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """What the destination NIC sees when a message lands."""
+
+    message: Message
+    sent_at: int       # entered the source egress queue
+    delivered_at: int  # last byte in destination memory
+
+
+class _Port:
+    """One direction of a node's link: FIFO occupancy bookkeeping."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+
+    def reserve(self, now: int, duration: int, earliest: int = 0) -> tuple[int, int]:
+        """Occupy the port for ``duration`` starting no earlier than
+        ``max(now, earliest, busy_until)``; returns (start, end)."""
+        start = max(now, earliest, self.busy_until)
+        end = start + duration
+        self.busy_until = end
+        return start, end
+
+
+class Fabric:
+    """Message transport over a :class:`Topology`."""
+
+    def __init__(self, sim: Simulator, topology: Topology, net: NetworkConfig,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.topology = topology
+        self.net = net
+        self.tracer = tracer or Tracer(enabled=False)
+        self._egress: Dict[str, _Port] = {n: _Port() for n in topology.nodes}
+        self._ingress: Dict[str, _Port] = {n: _Port() for n in topology.nodes}
+        self._rx_handlers: Dict[str, List[Callable[[DeliveredMessage], None]]] = {
+            n: [] for n in topology.nodes
+        }
+        self.stats = {"messages": 0, "bytes": 0}
+
+    # ------------------------------------------------------------- handlers
+    def register_rx(self, node: str, handler: Callable[[DeliveredMessage], None]) -> None:
+        """Register a destination-NIC callback for messages landing at ``node``."""
+        self.topology.index(node)
+        self._rx_handlers[node].append(handler)
+
+    # --------------------------------------------------------------- sending
+    def transmit(self, msg: Message) -> Event:
+        """Inject ``msg`` at its source now; returns the delivery event.
+
+        The event fires at the destination's delivery time with the
+        :class:`DeliveredMessage`; registered rx handlers at the
+        destination run at the same instant (before event waiters, since
+        handler dispatch is part of the delivery callback).
+        """
+        now = self.sim.now
+        self.topology.index(msg.src)
+        self.topology.index(msg.dst)
+        ser = self.net.serialization_ns(msg.nbytes)
+        head_lat = self.topology.path_latency_ns(msg.src, msg.dst)
+
+        _, egress_end = self._egress[msg.src].reserve(now, ser)
+        # Head reaches the destination port once it propagates the path;
+        # it cannot enter the wire before its turn at the egress port.
+        head_at_ingress = egress_end - ser + head_lat
+        _, ingress_end = self._ingress[msg.dst].reserve(now, ser, earliest=head_at_ingress)
+        delivery_time = ingress_end
+
+        self.tracer.point(now, msg.src, "fabric", "tx",
+                          msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
+        done = self.sim.event(name=f"deliver:{msg.msg_id}")
+        delivered = DeliveredMessage(msg, sent_at=now, delivered_at=delivery_time)
+
+        def _deliver() -> None:
+            self.tracer.point(self.sim.now, msg.dst, "fabric", "rx",
+                              msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
+            for handler in self._rx_handlers[msg.dst]:
+                handler(delivered)
+            done.succeed(delivered)
+
+        self.sim.schedule(delivery_time - now, _deliver)
+        self.stats["messages"] += 1
+        self.stats["bytes"] += msg.nbytes
+        return done
+
+    # ------------------------------------------------------------ estimates
+    def uncontended_latency_ns(self, src: str, dst: str, nbytes: int) -> int:
+        """Closed-form delivery latency with idle ports (for tests/docs)."""
+        return self.net.serialization_ns(nbytes) + self.topology.path_latency_ns(src, dst)

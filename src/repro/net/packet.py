@@ -1,0 +1,59 @@
+"""Wire message descriptors.
+
+A :class:`Message` is the unit the NIC hands to the fabric: one RDMA
+operation's worth of bytes plus routing/metadata.  Payload bytes are
+carried out-of-band (the NIC DMA-reads them at the source and DMA-writes
+them at the target); the fabric only needs sizes for timing.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Message", "MessageKind"]
+
+_msg_ids = itertools.count(1)
+
+
+class MessageKind(str, enum.Enum):
+    """RDMA operation classes carried by the fabric."""
+
+    PUT = "put"            # one-sided write
+    GET_REQUEST = "get_request"
+    GET_REPLY = "get_reply"
+    SEND = "send"          # two-sided send (HDN baseline)
+    ACK = "ack"            # hardware-level put acknowledgment
+
+
+@dataclass
+class Message:
+    """One fabric-level message."""
+
+    src: str
+    dst: str
+    nbytes: int
+    kind: MessageKind = MessageKind.PUT
+    payload: Optional[bytes] = None
+    #: Target-side virtual address for puts (None for sends: matched by tag).
+    remote_addr: Optional[int] = None
+    #: Two-sided match tag (sends) or triggered-op identity (puts).
+    tag: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size {self.nbytes}")
+        if self.payload is not None and len(self.payload) != self.nbytes:
+            raise ValueError(
+                f"payload length {len(self.payload)} != declared size {self.nbytes}"
+            )
+        if self.src == self.dst:
+            raise ValueError(f"message to self ({self.src}); use local copy instead")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Message #{self.msg_id} {self.kind.value} {self.src}->{self.dst} "
+                f"{self.nbytes}B tag={self.tag}>")

@@ -1,0 +1,43 @@
+"""NIC model with Portals-4-style triggered operations (paper Section 3).
+
+The NIC is where the paper's contribution lives:
+
+* :mod:`~repro.nic.lookup` -- the three trigger-list lookup organizations
+  discussed in Section 3.3 (linked list, bounded associative array, hash
+  table), each with its own latency model;
+* :mod:`~repro.nic.triggered` -- trigger entries ({network op, tag,
+  counter, threshold}) and the trigger list with the Section 3.2 *relaxed
+  synchronization* semantics (GPU may trigger before the CPU registers);
+* :mod:`~repro.nic.device` -- the NIC device: CPU command interface,
+  MMIO trigger-address FIFO, trigger processor, DMA engine, two-sided
+  matching and completion notification;
+* :mod:`~repro.nic.portals` -- a thin Portals-4-flavored API layer
+  (counters, memory descriptors, triggered puts) matching how the paper
+  describes its prototype.
+"""
+
+from repro.nic.device import Nic, PutHandle, RecvHandle
+from repro.nic.lookup import (
+    AssociativeLookup,
+    CachedLookup,
+    HashLookup,
+    LinkedListLookup,
+    TriggerListFull,
+    make_lookup,
+)
+from repro.nic.triggered import NetworkOp, TriggerEntry, TriggerList
+
+__all__ = [
+    "AssociativeLookup",
+    "CachedLookup",
+    "HashLookup",
+    "LinkedListLookup",
+    "NetworkOp",
+    "Nic",
+    "PutHandle",
+    "RecvHandle",
+    "TriggerEntry",
+    "TriggerList",
+    "TriggerListFull",
+    "make_lookup",
+]

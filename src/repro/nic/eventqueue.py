@@ -1,0 +1,131 @@
+"""Portals-style completion event queues.
+
+Sections 4.2.4-4.2.5 of the paper describe two notification mechanisms
+for completion: lightweight flag words (what GPU kernels poll -- already
+modeled in :mod:`repro.nic.device`) and "monitoring a network completion
+queue".  This module provides the queue flavor: a bounded ring of
+completion records the NIC appends to and the host (or a GPU polling
+loop) drains.
+
+Attach one with :meth:`EventQueue.attach`; afterwards the NIC deposits a
+record for every local completion and every arrival at this node.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from repro.nic.device import Nic, PutHandle
+from repro.sim import Event
+
+__all__ = ["EventKind", "EventQueue", "NicEvent"]
+
+
+class EventKind(str, enum.Enum):
+    SEND_COMPLETE = "send_complete"   # local completion: buffer reusable
+    PUT_ARRIVED = "put_arrived"       # one-sided payload landed here
+    RECV_MATCHED = "recv_matched"     # two-sided receive completed
+
+
+@dataclass(frozen=True)
+class NicEvent:
+    """One completion record."""
+
+    kind: EventKind
+    time: int
+    nbytes: int
+    wire_tag: Optional[int] = None
+    op_id: Optional[int] = None
+    src: Optional[str] = None
+
+
+class EventQueueOverflow(RuntimeError):
+    """The ring filled before the consumer drained it (a real-RDMA error
+    state: Portals returns PTL_EQ_DROPPED)."""
+
+
+class EventQueue:
+    """A bounded completion queue fed by one NIC."""
+
+    def __init__(self, nic: Nic, depth: int = 1024):
+        if depth <= 0:
+            raise ValueError("event queue depth must be positive")
+        self.nic = nic
+        self.depth = depth
+        self._ring: Deque[NicEvent] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.dropped = 0
+        self._attached = False
+
+    # ------------------------------------------------------------- attach
+    def attach(self) -> "EventQueue":
+        """Start receiving completion records from the NIC."""
+        if self._attached:
+            raise RuntimeError("event queue already attached")
+        self._attached = True
+        self.nic.fabric.register_rx(self.nic.node, self._on_rx)
+        return self
+
+    def track_put(self, handle: PutHandle) -> None:
+        """Deposit a SEND_COMPLETE record when this put's buffer frees."""
+        handle.local.callbacks.append(
+            lambda ev: self._push(NicEvent(
+                EventKind.SEND_COMPLETE, self.nic.sim.now,
+                nbytes=handle.op.nbytes, wire_tag=handle.op.wire_tag,
+                op_id=handle.op.op_id)))
+
+    def _on_rx(self, delivered) -> None:
+        msg = delivered.message
+        from repro.net.packet import MessageKind
+
+        if msg.kind is MessageKind.PUT:
+            self._push(NicEvent(EventKind.PUT_ARRIVED, self.nic.sim.now,
+                                nbytes=msg.nbytes, wire_tag=msg.tag,
+                                src=msg.src))
+        elif msg.kind is MessageKind.SEND:
+            self._push(NicEvent(EventKind.RECV_MATCHED, self.nic.sim.now,
+                                nbytes=msg.nbytes, wire_tag=msg.tag,
+                                src=msg.src))
+
+    # -------------------------------------------------------------- queue
+    def _push(self, record: NicEvent) -> None:
+        if len(self._ring) >= self.depth:
+            self.dropped += 1
+            raise EventQueueOverflow(
+                f"event queue on {self.nic.node} overflowed at depth "
+                f"{self.depth}")
+        self._ring.append(record)
+        while self._waiters and self._ring:
+            self._waiters.popleft().succeed(self._ring.popleft())
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def poll(self) -> Optional[NicEvent]:
+        """Non-blocking get (``PtlEQGet``)."""
+        return self._ring.popleft() if self._ring else None
+
+    def wait(self) -> Event:
+        """Blocking get (``PtlEQWait``): an event firing with the next
+        record; usable from simulation processes via ``yield eq.wait()``."""
+        ev = Event(self.nic.sim, name=f"eqwait:{self.nic.node}")
+        if self._ring:
+            ev.succeed(self._ring.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def drain(self) -> list:
+        """Empty the ring, returning everything queued."""
+        out = list(self._ring)
+        self._ring.clear()
+        return out
+
+    def counts(self) -> Dict[EventKind, int]:
+        out: Dict[EventKind, int] = {}
+        for r in self._ring:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out

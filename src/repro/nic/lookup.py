@@ -1,0 +1,252 @@
+"""Trigger-list lookup organizations (paper Section 3.3).
+
+The NIC must match every GPU tag write against the registered trigger
+entries, potentially absorbing "triggers from thousands of GPU threads in
+quick succession".  The paper discusses three implementations:
+
+* **linked list** -- the logical organization (Portals 4 hardware lists);
+  lookup cost grows linearly with list length;
+* **associative** -- a small CAM; constant-time but bounds the number of
+  simultaneously active entries (the paper's prototype uses 16);
+* **hash** -- a hash table; near-constant time without the hard bound.
+
+All three share one interface so the ablation benchmark can swap them via
+``NicConfig.trigger_lookup``.  ``cost_ns`` returns the modeled latency of
+the *last* lookup, which the NIC's trigger processor charges per FIFO pop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.nic.triggered import TriggerEntry
+
+__all__ = [
+    "AssociativeLookup",
+    "HashLookup",
+    "LinkedListLookup",
+    "TriggerListFull",
+    "make_lookup",
+]
+
+
+class TriggerListFull(RuntimeError):
+    """Raised when a bounded lookup structure cannot accept a new entry."""
+
+
+class _LookupBase:
+    """Shared bookkeeping for the three organizations."""
+
+    #: per-step traversal / probe cost in ns
+    step_ns: int = 5
+    #: fixed overhead per lookup in ns
+    base_ns: int = 10
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self._last_steps = 0
+
+    def __len__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def cost_ns(self) -> int:
+        """Latency of the most recent find/insert, from the step count."""
+        return self.base_ns + self.step_ns * self._last_steps
+
+    def _check_capacity(self) -> None:
+        if self.capacity is not None and len(self) >= self.capacity:
+            raise TriggerListFull(
+                f"{type(self).__name__} at capacity {self.capacity}"
+            )
+
+
+class LinkedListLookup(_LookupBase):
+    """Logical linked list: O(n) search, unbounded."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__(capacity)
+        self._entries: List[TriggerEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TriggerEntry]:
+        return iter(self._entries)
+
+    def find(self, tag: int) -> Optional[TriggerEntry]:
+        for i, entry in enumerate(self._entries):
+            if entry.tag == tag:
+                self._last_steps = i + 1
+                return entry
+        self._last_steps = len(self._entries)
+        return None
+
+    def insert(self, entry: TriggerEntry) -> None:
+        self._check_capacity()
+        # Appending requires walking to the tail in a true hardware list.
+        self._last_steps = len(self._entries)
+        self._entries.append(entry)
+
+    def remove(self, entry: TriggerEntry) -> None:
+        self._entries.remove(entry)
+        self._last_steps = 1
+
+
+class AssociativeLookup(_LookupBase):
+    """Small CAM: O(1) search, hard entry bound (prototype: 16)."""
+
+    def __init__(self, capacity: Optional[int] = 16):
+        if capacity is None:
+            raise ValueError("associative lookup requires a capacity bound")
+        super().__init__(capacity)
+        self._by_tag: Dict[int, TriggerEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_tag)
+
+    def __iter__(self) -> Iterator[TriggerEntry]:
+        return iter(self._by_tag.values())
+
+    def find(self, tag: int) -> Optional[TriggerEntry]:
+        self._last_steps = 1
+        return self._by_tag.get(tag)
+
+    def insert(self, entry: TriggerEntry) -> None:
+        self._check_capacity()
+        if entry.tag in self._by_tag:
+            raise ValueError(f"duplicate tag {entry.tag} in associative lookup")
+        self._by_tag[entry.tag] = entry
+        self._last_steps = 1
+
+    def remove(self, entry: TriggerEntry) -> None:
+        self._by_tag.pop(entry.tag, None)
+        self._last_steps = 1
+
+
+class HashLookup(_LookupBase):
+    """Hash table with chaining: near-O(1), soft capacity."""
+
+    def __init__(self, capacity: Optional[int] = None, n_buckets: int = 64):
+        super().__init__(capacity)
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self._buckets: List[List[TriggerEntry]] = [[] for _ in range(n_buckets)]
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[TriggerEntry]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def _bucket(self, tag: int) -> List[TriggerEntry]:
+        return self._buckets[hash(tag) % self.n_buckets]
+
+    def find(self, tag: int) -> Optional[TriggerEntry]:
+        bucket = self._bucket(tag)
+        for i, entry in enumerate(bucket):
+            if entry.tag == tag:
+                self._last_steps = i + 1
+                return entry
+        self._last_steps = max(1, len(bucket))
+        return None
+
+    def insert(self, entry: TriggerEntry) -> None:
+        self._check_capacity()
+        bucket = self._bucket(entry.tag)
+        bucket.append(entry)
+        self._count += 1
+        self._last_steps = len(bucket)
+
+    def remove(self, entry: TriggerEntry) -> None:
+        bucket = self._bucket(entry.tag)
+        bucket.remove(entry)
+        self._count -= 1
+        self._last_steps = 1
+
+
+class CachedLookup(_LookupBase):
+    """The Section 3.3 'simplest implementation': the trigger list lives
+    in main memory and the NIC caches frequently accessed entries.
+
+    Wraps any other lookup; a find that hits the (LRU) cache costs the
+    inner structure's hit time, a miss adds a host-memory fetch.
+    """
+
+    #: host-memory fetch penalty on a cache miss (one or two cache lines
+    #: over the on-chip interconnect)
+    miss_ns: int = 250
+
+    def __init__(self, inner, cache_entries: int = 16):
+        if cache_entries <= 0:
+            raise ValueError("cache needs at least one entry")
+        super().__init__(capacity=inner.capacity)
+        self.inner = inner
+        self.cache_entries = cache_entries
+        self._lru: List[int] = []  # most recent last
+        self._last_cost = 0
+        self.stats = {"hits": 0, "misses": 0}
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[TriggerEntry]:
+        return iter(self.inner)
+
+    def _touch(self, tag: int) -> bool:
+        """LRU update; returns True on hit."""
+        hit = tag in self._lru
+        if hit:
+            self._lru.remove(tag)
+        elif len(self._lru) >= self.cache_entries:
+            self._lru.pop(0)
+        self._lru.append(tag)
+        return hit
+
+    def find(self, tag: int) -> Optional[TriggerEntry]:
+        entry = self.inner.find(tag)
+        cost = self.inner.cost_ns()
+        if entry is not None:
+            if self._touch(tag):
+                self.stats["hits"] += 1
+            else:
+                self.stats["misses"] += 1
+                cost += self.miss_ns
+        self._last_cost = cost
+        return entry
+
+    def insert(self, entry: TriggerEntry) -> None:
+        self.inner.insert(entry)
+        self._touch(entry.tag)
+        self._last_cost = self.inner.cost_ns()
+
+    def remove(self, entry: TriggerEntry) -> None:
+        self.inner.remove(entry)
+        if entry.tag in self._lru:
+            self._lru.remove(entry.tag)
+        self._last_cost = self.inner.cost_ns()
+
+    def cost_ns(self) -> int:
+        return self._last_cost
+
+
+def make_lookup(kind: str, capacity: Optional[int] = 16):
+    """Factory keyed by ``NicConfig.trigger_lookup``.
+
+    ``"cached:<inner>"`` (e.g. ``"cached:hash"``) wraps the inner
+    structure in a :class:`CachedLookup` with ``capacity`` cache entries
+    -- the Section 3.3 main-memory + NIC-cache organization.
+    """
+    if kind.startswith("cached:"):
+        inner = make_lookup(kind.split(":", 1)[1], capacity=None)
+        return CachedLookup(inner, cache_entries=capacity or 16)
+    if kind == "linked-list":
+        return LinkedListLookup(capacity=None)
+    if kind == "associative":
+        return AssociativeLookup(capacity=capacity)
+    if kind == "hash":
+        return HashLookup(capacity=None)
+    raise ValueError(f"unknown trigger lookup kind {kind!r} "
+                     "(expected linked-list | associative | hash | cached:<kind>)")

@@ -1,0 +1,159 @@
+"""Triggered-operation semantics (paper Sections 3.1-3.2).
+
+A :class:`TriggerEntry` is the NIC-resident record the paper describes:
+
+* **Network Operation** -- full description of the deferred operation;
+* **Tag** -- unique identifier written by the GPU;
+* **Counter** -- number of matching tag writes collected so far;
+* **Threshold** -- writes required before the operation fires.
+
+:class:`TriggerList` owns the entries (through one of the
+:mod:`~repro.nic.lookup` structures) and implements both directions of the
+**relaxed synchronization model** (Section 3.2):
+
+* a GPU tag write with no matching entry allocates a *placeholder*
+  (counter only, no operation/threshold) instead of being dropped;
+* a CPU registration that finds a placeholder adopts its counter and, if
+  the counter already meets the threshold, fires immediately.
+
+Each entry fires **exactly once**; this invariant is property-tested
+against arbitrary interleavings of registration and trigger writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["NetworkOp", "TriggerEntry", "TriggerList"]
+
+_op_ids = itertools.count(1)
+
+
+@dataclass
+class NetworkOp:
+    """The deferred network operation held in a trigger entry.
+
+    Mirrors the paper's field list: "a pointer to the memory resident send
+    buffer, length, target id, etc.".
+    """
+
+    kind: str                 # "put" | "get" | "send"
+    local_addr: int
+    nbytes: int
+    target: str
+    remote_addr: Optional[int] = None
+    #: delivered to the target NIC to locate the matching completion flag
+    wire_tag: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("put", "get", "send"):
+            raise ValueError(f"unsupported network op kind {self.kind!r}")
+        if self.nbytes < 0:
+            raise ValueError("negative operation size")
+
+
+@dataclass
+class TriggerEntry:
+    """One row of the NIC trigger list."""
+
+    tag: int
+    op: Optional[NetworkOp] = None
+    threshold: Optional[int] = None
+    counter: int = 0
+    fired: bool = False
+
+    @property
+    def armed(self) -> bool:
+        """True once the CPU has supplied the operation and threshold."""
+        return self.op is not None and self.threshold is not None
+
+    @property
+    def is_placeholder(self) -> bool:
+        return not self.armed
+
+    @property
+    def ready(self) -> bool:
+        return (self.armed and not self.fired
+                and self.counter >= self.threshold)  # type: ignore[operator]
+
+
+class TriggerList:
+    """The NIC's list of registered/placeholder trigger entries."""
+
+    def __init__(self, lookup, on_fire: Callable[[TriggerEntry], None]):
+        """``lookup`` is a :mod:`repro.nic.lookup` structure; ``on_fire``
+        is invoked exactly once per entry when it becomes ready."""
+        self.lookup = lookup
+        self.on_fire = on_fire
+        self.fired_log: List[TriggerEntry] = []
+        self.stats = {"registered": 0, "triggers": 0, "placeholders": 0, "fired": 0}
+
+    def __len__(self) -> int:
+        return len(self.lookup)
+
+    # ----------------------------------------------------------------- CPU
+    def register(self, op: NetworkOp, tag: int, threshold: int) -> TriggerEntry:
+        """CPU-side registration of a triggered operation (paper step 1).
+
+        Adopts an existing placeholder's counter if the GPU got here first
+        (relaxed synchronization), firing immediately when already met.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        entry = self.lookup.find(tag)
+        if entry is not None:
+            if entry.armed and not entry.fired:
+                raise ValueError(f"tag {tag} already registered and pending")
+            if entry.fired:
+                raise ValueError(f"tag {tag} already fired; free it before reuse")
+            # Placeholder allocated by an early GPU trigger: arm it.
+            entry.op = op
+            entry.threshold = threshold
+        else:
+            entry = TriggerEntry(tag=tag, op=op, threshold=threshold)
+            self.lookup.insert(entry)
+        self.stats["registered"] += 1
+        if entry.ready:
+            self._fire(entry)
+        return entry
+
+    # ----------------------------------------------------------------- GPU
+    def trigger(self, tag: int) -> TriggerEntry:
+        """A tag write popped from the trigger-address FIFO (paper step 3).
+
+        Unknown tags allocate a placeholder entry (Section 3.2) rather
+        than erroring.
+        """
+        entry = self.lookup.find(tag)
+        if entry is None:
+            entry = TriggerEntry(tag=tag)
+            self.lookup.insert(entry)
+            self.stats["placeholders"] += 1
+        entry.counter += 1
+        self.stats["triggers"] += 1
+        if entry.ready:
+            self._fire(entry)
+        return entry
+
+    # ------------------------------------------------------------- internal
+    def _fire(self, entry: TriggerEntry) -> None:
+        assert not entry.fired, "double fire must be impossible"
+        entry.fired = True
+        self.fired_log.append(entry)
+        self.stats["fired"] += 1
+        self.on_fire(entry)
+
+    def free(self, entry: TriggerEntry) -> None:
+        """Remove a consumed entry, releasing its lookup slot."""
+        self.lookup.remove(entry)
+
+    # --------------------------------------------------------------- query
+    def entry(self, tag: int) -> Optional[TriggerEntry]:
+        return self.lookup.find(tag)
+
+    def pending(self) -> List[TriggerEntry]:
+        return [e for e in self.lookup if not e.fired]

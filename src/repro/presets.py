@@ -1,0 +1,63 @@
+"""Alternative system presets.
+
+The paper's evaluation platform is a coherent APU (Table 2), but it
+notes (§5.1, §5.2) that GPU-TN "can still be applied in a more
+traditional discrete GPU architecture", and that on such a system "a
+more traditional discrete GPU setup could see much larger performance
+improvement from GDS, since it would avoid a costly critical path
+control flow switch over the IO bus".
+
+:func:`discrete_gpu_config` models that system: CPU<->GPU interactions
+cross PCIe, so
+
+* kernel dispatch and completion detection pay bus latency,
+* the CPU's post-kernel send path additionally stages data over the bus
+  (HDN gets slower -- the "costly control flow switch" the paper means),
+* GPU->NIC MMIO (doorbells and triggers) pays PCIe posted-write latency
+  instead of on-die fabric latency.
+
+A test asserts the paper's §5.2 prediction holds under this preset: the
+GDS-over-HDN improvement is larger than on the APU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import CpuConfig, GpuConfig, NicConfig, SystemConfig, default_config
+
+__all__ = ["discrete_gpu_config"]
+
+#: One-way PCIe posted-write latency (gen3-era, switch + root complex).
+PCIE_POSTED_WRITE_NS = 700
+#: Extra CPU-side cost to stage/track a transfer across the bus.
+PCIE_CONTROL_SWITCH_NS = 1200
+
+
+def discrete_gpu_config(base: SystemConfig | None = None) -> SystemConfig:
+    """The Table 2 system re-plumbed as a discrete (PCIe) GPU node."""
+    base = base or default_config()
+    cpu = replace(
+        base.cpu,
+        # Kernel dispatch crosses the bus; completion detection needs a
+        # bus round trip even when spinning on a host-visible flag.
+        kernel_dispatch_sw_ns=base.cpu.kernel_dispatch_sw_ns
+        + PCIE_CONTROL_SWITCH_NS,
+        completion_poll_ns=base.cpu.completion_poll_ns + PCIE_POSTED_WRITE_NS,
+        # The HDN send path moves control (and, without GPUDirect, data)
+        # across the bus before the NIC can be posted.
+        packet_build_ns=base.cpu.packet_build_ns + PCIE_CONTROL_SWITCH_NS,
+    )
+    gpu = replace(
+        base.gpu,
+        # System-scope operations traverse PCIe instead of the on-die
+        # fabric.
+        atomic_system_store_ns=base.gpu.atomic_system_store_ns
+        + PCIE_POSTED_WRITE_NS // 2,
+        fence_system_ns=base.gpu.fence_system_ns + PCIE_POSTED_WRITE_NS // 2,
+    )
+    nic = replace(
+        base.nic,
+        doorbell_mmio_ns=base.nic.doorbell_mmio_ns + PCIE_POSTED_WRITE_NS,
+    )
+    return base.with_(cpu=cpu, gpu=gpu, nic=nic)

@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate for the whole GPU-TN reproduction: a
+deterministic, integer-nanosecond, generator-coroutine discrete-event
+simulator in the style of SimPy, built from scratch so the repository has
+no dependencies beyond NumPy.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout` --
+  primitive waitables.
+* :class:`~repro.sim.process.Process` -- a generator-based coroutine that
+  yields waitables.
+* :mod:`~repro.sim.resources` -- FIFO stores, semaphore-style resources and
+  counters used to model queues, cores and doorbell FIFOs.
+* :mod:`~repro.sim.trace` -- structured timeline recording used by the
+  latency-decomposition analysis (paper Figure 8).
+* :mod:`~repro.sim.rng` -- named deterministic random streams.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Span, TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Span",
+    "Store",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,312 @@
+"""Core event loop for the discrete-event simulator.
+
+Time is an integer number of **nanoseconds**.  Integer time keeps event
+ordering exact (no floating-point drift) which matters for the memory-model
+and triggered-operation race tests: the paper's relaxed-synchronization
+semantics (Section 3.2) are only meaningful if the simulator resolves
+CPU-registration vs. GPU-trigger races deterministically.
+
+The scheduler orders events by ``(time, priority, sequence)`` where
+``sequence`` is a monotone insertion counter, so same-time events fire in
+FIFO order.  ``priority`` is rarely needed but lets hardware models (e.g.
+the NIC command processor) drain their queues before same-tick user logic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+#: Default priority for scheduled events.  Lower fires first at equal time.
+PRIORITY_NORMAL = 10
+#: Priority used by hardware pipelines that must drain before user logic.
+PRIORITY_URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for modeled errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted.
+
+    The ``cause`` attribute carries an arbitrary payload provided by the
+    interrupter (e.g. the reason a persistent kernel was torn down).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    Lifecycle: *pending* -> *triggered* (value or exception set, scheduled on
+    the event loop) -> *processed* (callbacks have run).  Processes wait on
+    events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (it may not have fired yet)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        return self._value
+
+    # ------------------------------------------------------------- triggering
+    def succeed(self, value: Any = None, delay: int = 0, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with ``value`` after ``delay`` ns."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule_event(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ns after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None, priority: int = PRIORITY_NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = int(delay)
+        self._triggered = True
+        self._value = value
+        sim._schedule_event(self, self.delay, priority)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        # Register after validation so a bad input leaves no dangling callbacks.
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when at least one child event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.spawn(my_generator_fn(sim, ...))
+        sim.run()
+
+    ``run`` drains the event heap; ``run(until=t)`` stops the clock at ``t``
+    (inclusive of events scheduled exactly at ``t``).
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._running = False
+
+    # -------------------------------------------------------------- clock/api
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator, name: str = ""):
+        """Start a new process from a generator. Returns the Process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule a plain callback ``delay`` ns from now.
+
+        Returns the underlying event (whose value is the callback's return
+        value is *not* captured; this is a fire-and-forget hook).
+        """
+        ev = Timeout(self, delay, priority=priority)
+        ev.callbacks.append(lambda _ev: callback(*args))
+        return ev
+
+    # ---------------------------------------------------------------- engine
+    def _schedule_event(self, event: Event, delay: int, priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + int(delay), priority, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now:  # pragma: no cover - guarded by _schedule_event
+            raise SimulationError("event heap time went backwards")
+        self._now = t
+        event._run_callbacks()
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                t = self._heap[0][0]
+                if until is not None and t > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
+        """Run until ``event`` is processed; returns its value.
+
+        Raises the event's exception if it failed, and ``SimulationError``
+        if the heap drains (or ``limit`` is reached) first.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(f"simulation ended before {event!r} fired")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"limit {limit} reached before {event!r} fired")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,137 @@
+"""Generator-coroutine processes for the simulation kernel.
+
+A *process* wraps a Python generator that ``yield``-s :class:`Event`
+instances (Timeouts, Store gets, other processes, ...).  The process is
+itself an :class:`Event` that fires with the generator's return value, so
+processes compose: a parent can ``yield child`` to join on it.
+
+Supports interrupts (used to model kernel teardown of persistent GPU
+kernels and cancellation of pending network waits).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
+
+__all__ = ["Process", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process killed via :meth:`Process.kill`."""
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires on completion."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next scheduler tick at the current time.
+        boot = Event(sim, name=f"boot:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    # ----------------------------------------------------------------- alive
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    # ------------------------------------------------------------- stepping
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        self._waiting_on = None
+        try:
+            if event is not self and not event.ok:
+                target = self._generator.throw(event.value)
+            elif isinstance(event.value, Interrupt) and event is not self:
+                # Interrupt delivery path (event value flags the interrupt).
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.send(event.value if event is not self else None)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            if not self._triggered:
+                self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        if target.sim is not self.sim:
+            self._generator.throw(
+                SimulationError("process yielded an event from a different simulator")
+            )
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already done: resume on a fresh zero-delay event so same-time
+            # ordering stays FIFO relative to other pending work.
+            relay = Event(self.sim, name=f"relay:{self.name}")
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+    # ------------------------------------------------------------ interrupts
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on remains pending; the process
+        may re-wait on it after handling the interrupt.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waiting = self._waiting_on
+        if waiting is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already popped this tick
+                pass
+            self._waiting_on = None
+        relay = Event(self.sim, name=f"interrupt:{self.name}")
+        relay.callbacks.append(self._resume)
+        relay.succeed(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process immediately (throws ProcessKilled)."""
+        if self._triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover
+                pass
+            self._waiting_on = None
+        try:
+            self._generator.throw(ProcessKilled())
+        except (StopIteration, ProcessKilled):
+            pass
+        except BaseException:
+            pass
+        finally:
+            self._generator.close()
+        if not self._triggered:
+            self.fail(ProcessKilled())

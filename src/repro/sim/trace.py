@@ -1,0 +1,135 @@
+"""Structured timeline tracing.
+
+The paper's headline microbenchmark result (Figure 8) is a *latency
+decomposition*: per-node, per-component spans (kernel launch, kernel
+execution, teardown, put, wait) on one absolute time axis.  The tracer
+records exactly that: point events and open/close spans keyed by
+``(node, actor, phase)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point event on the timeline."""
+
+    time: int
+    node: str
+    actor: str
+    phase: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """A half-open interval [start, end) of activity by one actor."""
+
+    node: str
+    actor: str
+    phase: str
+    start: int
+    end: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        if self.end is None:
+            raise ValueError(f"span {self.phase!r} still open")
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        end = self.end if self.end is not None else "..."
+        return f"[{self.node}/{self.actor}] {self.phase}: {self.start}..{end}"
+
+
+class Tracer:
+    """Collects point events and spans; queryable for analysis/reporting."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self.spans: List[Span] = []
+        self._open: Dict[Tuple[str, str, str], List[Span]] = {}
+
+    # ------------------------------------------------------------- recording
+    def point(self, time: int, node: str, actor: str, phase: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, node, actor, phase, detail))
+
+    def begin(self, time: int, node: str, actor: str, phase: str, **detail: Any) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        span = Span(node, actor, phase, time, detail=detail)
+        self.spans.append(span)
+        self._open.setdefault((node, actor, phase), []).append(span)
+        return span
+
+    def end(self, time: int, node: str, actor: str, phase: str, **detail: Any) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        stack = self._open.get((node, actor, phase))
+        if not stack:
+            raise ValueError(f"end() without begin() for ({node},{actor},{phase})")
+        span = stack.pop()
+        span.end = time
+        span.detail.update(detail)
+        return span
+
+    # --------------------------------------------------------------- queries
+    def spans_for(self, node: Optional[str] = None, actor: Optional[str] = None,
+                  phase: Optional[str] = None) -> List[Span]:
+        out = []
+        for s in self.spans:
+            if node is not None and s.node != node:
+                continue
+            if actor is not None and s.actor != actor:
+                continue
+            if phase is not None and s.phase != phase:
+                continue
+            out.append(s)
+        return out
+
+    def events_for(self, node: Optional[str] = None, actor: Optional[str] = None,
+                   phase: Optional[str] = None) -> List[TraceEvent]:
+        out = []
+        for e in self.events:
+            if node is not None and e.node != node:
+                continue
+            if actor is not None and e.actor != actor:
+                continue
+            if phase is not None and e.phase != phase:
+                continue
+            out.append(e)
+        return out
+
+    def first(self, phase: str, node: Optional[str] = None) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.phase == phase and (node is None or e.node == node):
+                return e
+        return None
+
+    def last(self, phase: str, node: Optional[str] = None) -> Optional[TraceEvent]:
+        found = None
+        for e in self.events:
+            if e.phase == phase and (node is None or e.node == node):
+                found = e
+        return found
+
+    def iter_sorted(self) -> Iterator[TraceEvent]:
+        return iter(sorted(self.events, key=lambda e: e.time))
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (useful in test assertions)."""
+        return [s for stack in self._open.values() for s in stack]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.spans.clear()
+        self._open.clear()

@@ -1,0 +1,3 @@
+"""Package version (single source; pyproject mirrors it)."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,56 @@
+"""Shared test fixtures: a minimal multi-node NIC/fabric harness.
+
+Full-node systems (with GPU and host models) come from ``repro.cluster``;
+this harness wires only sim + memory + fabric + NICs for the substrate
+tests, which keeps NIC unit tests independent of the GPU model.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+from repro.config import SystemConfig, default_config
+from repro.memory import AddressSpace, ScopedMemoryModel
+from repro.net import Fabric, StarTopology
+from repro.nic import Nic
+from repro.sim import Simulator, Tracer
+
+
+@dataclass
+class NicTestbed:
+    sim: Simulator
+    config: SystemConfig
+    tracer: Tracer
+    fabric: Fabric
+    spaces: Dict[str, AddressSpace]
+    mems: Dict[str, ScopedMemoryModel]
+    nics: Dict[str, Nic]
+    nodes: List[str]
+
+    def alloc_registered(self, node: str, nbytes: int, name: str = ""):
+        buf = self.spaces[node].alloc(nbytes, name=name)
+        self.spaces[node].register(buf)
+        return buf
+
+
+def build_nic_testbed(n_nodes: int = 2, config: SystemConfig | None = None) -> NicTestbed:
+    config = config or default_config()
+    sim = Simulator()
+    tracer = Tracer()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    topo = StarTopology(nodes, config.network.link_latency_ns,
+                        config.network.switch_latency_ns)
+    fabric = Fabric(sim, topo, config.network, tracer=tracer)
+    spaces = {name: AddressSpace(name) for name in nodes}
+    mems = {name: ScopedMemoryModel() for name in nodes}
+    nics = {
+        name: Nic(sim, name, spaces[name], mems[name], fabric, config, tracer=tracer)
+        for name in nodes
+    }
+    return NicTestbed(sim, config, tracer, fabric, spaces, mems, nics, nodes)
+
+
+@pytest.fixture
+def nic_testbed() -> NicTestbed:
+    return build_nic_testbed()

@@ -1,0 +1,98 @@
+"""Tests for analysis/report rendering (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    figure1_report,
+    figure8_report,
+    table1_report,
+    table2_report,
+    table3_report,
+)
+from repro.analysis.tables import render_table, sparkline
+from repro.apps.launch_study import measure_launch_latency
+from repro.config import default_config
+from repro.gpu.dispatcher import FIGURE1_GPUS, ConstantLaunchModel
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out and "bb" in out
+        # All data lines equal width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_ragged_rows_padded(self):
+        out = render_table(["x", "y"], [["only-one"]])
+        assert "only-one" in out
+
+    def test_non_string_cells(self):
+        out = render_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestSparkline:
+    def test_shape(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4 and s[0] != s[-1]
+
+    def test_flat_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLaunchStudy:
+    def test_measured_matches_constant_model(self):
+        t = measure_launch_latency(default_config(),
+                                   ConstantLaunchModel(1500, 1500),
+                                   queue_depth=4)
+        assert t == 3000  # empty kernels: launch+teardown only
+
+    def test_measured_decreases_with_depth(self):
+        model = FIGURE1_GPUS["GPU 1"]
+        t1 = measure_launch_latency(launch_model=model, queue_depth=1)
+        t64 = measure_launch_latency(launch_model=model, queue_depth=64)
+        assert t64 < t1
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            measure_launch_latency(queue_depth=0)
+
+
+class TestReports:
+    def test_figure1_report_envelope(self, capsys):
+        data = figure1_report(depths=(1, 16, 256))
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        for vals in data.values():
+            assert vals[0] > vals[-1]          # amortization
+            assert 3.0 <= vals[-1] <= 4.6      # paper's 3-4 us floor
+        assert max(data["GPU 1"]) <= 21.0      # paper's 20 us ceiling
+
+    def test_figure8_report(self, capsys):
+        data = figure8_report()
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "faster" in out
+        assert data["gputn"]["target_us"] < data["gds"]["target_us"]
+
+    def test_table1_report(self, capsys):
+        rows = table1_report()
+        out = capsys.readouterr().out
+        assert len(rows) == 5
+        assert "GPU Triggered Networking (GPU-TN)" in out
+
+    def test_table2_report(self, capsys):
+        table = table2_report()
+        out = capsys.readouterr().out
+        assert "GPU Configuration" in out
+        assert table["Network Configuration"]["Bandwidth"] == "100Gbps"
+
+    def test_table3_report(self, capsys):
+        rows = table3_report()
+        assert len(rows) == 6
+        assert "CNTK" in capsys.readouterr().out

@@ -1,0 +1,260 @@
+"""Tests for the GPU-TN programming model (repro.api): Figures 6 and 7."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    GpuTnEndpoint,
+    dynamic_target_kernel,
+    kernel_level_kernel,
+    mixed_granularity_kernel,
+    work_group_kernel,
+    work_item_kernel,
+)
+from repro.cluster import Cluster
+
+
+def make_pair():
+    cluster = Cluster(n_nodes=2)
+    return cluster, GpuTnEndpoint(cluster[0]), cluster[1]
+
+
+class TestEndpointBasics:
+    def test_requires_gpu(self):
+        cluster = Cluster(n_nodes=1, with_gpu=False)
+        with pytest.raises(ValueError, match="requires a GPU"):
+            GpuTnEndpoint(cluster[0])
+
+    def test_rank_and_trigger_address(self):
+        cluster, ep, _ = make_pair()
+        assert ep.rank == "node0"
+        assert ep.trigger_address == cluster[0].nic.trigger_address
+
+    def test_fresh_tags_unique(self):
+        tags = {GpuTnEndpoint.fresh_tag() for _ in range(100)}
+        assert len(tags) == 100
+
+    def test_alloc_flag_slots_distinct(self):
+        _, ep, _ = make_pair()
+        a, b = ep.alloc_flag(), ep.alloc_flag()
+        assert (a[0], a[1]) != (b[0], b[1])
+
+    def test_flag_pool_grows(self):
+        _, ep, _ = make_pair()
+        slots = [ep.alloc_flag() for _ in range(2000)]
+        assert len(slots) == 2000  # spans multiple pool buffers
+
+
+class TestFigure6Flow:
+    """The full host-side pseudocode of paper Figure 6, both orders."""
+
+    @pytest.mark.parametrize("overlap", [False, True],
+                             ids=["register-first", "launch-first"])
+    def test_end_to_end(self, overlap):
+        cluster, ep, target = make_pair()
+        send = cluster[0].host.alloc(256, "send")
+        recv = target.host.alloc(256, "recv")
+
+        def driver():
+            if overlap:
+                inst = yield from ep.launch(
+                    work_group_kernel, n_workgroups=1,
+                    tag_base=0x900, buffers=[send], fill=0x42)
+                op = yield from ep.trig_put(send, 256, target.name,
+                                            recv.addr(), tag=0x900)
+            else:
+                op = yield from ep.trig_put(send, 256, target.name,
+                                            recv.addr(), tag=0x900)
+                inst = yield from ep.launch(
+                    work_group_kernel, n_workgroups=1,
+                    tag_base=0x900, buffers=[send], fill=0x42)
+            yield ep.wait_delivered(op)
+            yield inst.finished
+            ep.free(op)
+            return op
+
+        p = cluster.spawn(driver())
+        op = cluster.sim.run_until_event(p)
+        assert op.fired is False  # freed: entry removed
+        assert (recv.view(np.uint8) == 0x42).all()
+        assert cluster.total_hazards() == 0
+
+    def test_local_flag(self):
+        cluster, ep, target = make_pair()
+        send = cluster[0].host.alloc(64)
+        recv = target.host.alloc(64)
+
+        def driver():
+            op = yield from ep.trig_put(send, 64, target.name, recv.addr(),
+                                        tag=0x901, with_local_flag=True)
+            yield from ep.launch(work_group_kernel, n_workgroups=1,
+                                 tag_base=0x901, buffers=[send], fill=1)
+            yield ep.wait_local(op)
+            return ep.local_flag_value(op)
+
+        p = cluster.spawn(driver())
+        assert cluster.sim.run_until_event(p) == 1
+
+    def test_local_flag_value_requires_flag(self):
+        cluster, ep, target = make_pair()
+        send = cluster[0].host.alloc(64)
+        recv = target.host.alloc(64)
+
+        def driver():
+            op = yield from ep.trig_put(send, 64, target.name, recv.addr())
+            return op
+
+        op = cluster.sim.run_until_event(cluster.spawn(driver()))
+        with pytest.raises(ValueError, match="with_local_flag"):
+            ep.local_flag_value(op)
+
+
+class TestGranularities:
+    """Figure 7 a/b/c and §4.2.3: each granularity delivers its messages."""
+
+    def _run(self, cluster, gen):
+        return cluster.sim.run_until_event(cluster.spawn(gen))
+
+    def test_work_group_level(self):
+        """7b: one message per work-group (4 groups -> 4 puts)."""
+        cluster, ep, target = make_pair()
+        n_wg = 4
+        send = cluster[0].host.alloc(n_wg * 64)
+        recvs = [target.host.alloc(64) for _ in range(n_wg)]
+
+        def driver():
+            ops = []
+            for wg in range(n_wg):
+                op = yield from ep.trig_put(send, 64, target.name,
+                                            recvs[wg].addr(), tag=0xA00 + wg,
+                                            offset=wg * 64)
+                ops.append(op)
+            yield from ep.launch(work_group_kernel, n_workgroups=n_wg,
+                                 tag_base=0xA00, buffers=[send], fill=9)
+            for op in ops:
+                yield ep.wait_delivered(op)
+
+        self._run(cluster, driver())
+        for r in recvs:
+            assert (r.view(np.uint8) == 9).all()
+
+    def test_kernel_level(self):
+        """7c: one tag, threshold = #work-groups; fires exactly once after
+        every group contributed."""
+        cluster, ep, target = make_pair()
+        n_wg = 8
+        send = cluster[0].host.alloc(256)
+        recv = target.host.alloc(256)
+
+        def driver():
+            op = yield from ep.trig_put(send, 256, target.name, recv.addr(),
+                                        tag=0xB00, threshold=n_wg)
+            yield from ep.launch(kernel_level_kernel, n_workgroups=n_wg,
+                                 tag=0xB00, buffers=[send], fill=3)
+            yield ep.wait_delivered(op)
+            return op.entry.counter
+
+        counter = self._run(cluster, driver())
+        assert counter == n_wg
+        assert (recv.view(np.uint8) == 3).all()
+        assert cluster[0].nic.trigger_list.stats["fired"] == 1
+
+    def test_work_item_level(self):
+        """7a: every work-item triggers its own tag."""
+        cluster, ep, target = make_pair()
+        items = 8
+        send = cluster[0].host.alloc(items * 8)
+        recvs = [target.host.alloc(8) for _ in range(items)]
+
+        def driver():
+            ops = []
+            for i in range(items):
+                op = yield from ep.trig_put(send, 8, target.name,
+                                            recvs[i].addr(), tag=0xC00 + i,
+                                            offset=i * 8)
+                ops.append(op)
+            yield from ep.launch(work_item_kernel, n_workgroups=1,
+                                 wg_size=items, tag_base=0xC00,
+                                 buffers=[send], fill=5, items_per_group=items)
+            for op in ops:
+                yield ep.wait_delivered(op)
+
+        self._run(cluster, driver())
+        for r in recvs:
+            assert (r.view(np.uint8) == 5).all()
+
+    def test_mixed_granularity_pairs(self):
+        """§4.2.3: threshold 2, one message per pair of work-groups."""
+        cluster, ep, target = make_pair()
+        n_wg, span = 8, 2
+        send = cluster[0].host.alloc(256)
+        recvs = [target.host.alloc(64) for _ in range(n_wg // span)]
+
+        def driver():
+            ops = []
+            for g in range(n_wg // span):
+                op = yield from ep.trig_put(send, 64, target.name,
+                                            recvs[g].addr(), tag=0xD00 + g,
+                                            threshold=span)
+                ops.append(op)
+            yield from ep.launch(mixed_granularity_kernel, n_workgroups=n_wg,
+                                 tag_base=0xD00, group_span=span,
+                                 buffers=[send], fill=7)
+            for op in ops:
+                yield ep.wait_delivered(op)
+            return [op.entry.counter for op in ops]
+
+        counters = self._run(cluster, driver())
+        assert counters == [span] * (n_wg // span)
+        for r in recvs:
+            assert (r.view(np.uint8) == 7).all()
+
+    def test_mixed_bad_span_rejected(self):
+        cluster, ep, _ = make_pair()
+
+        def driver():
+            inst = yield from ep.launch(mixed_granularity_kernel, n_workgroups=2,
+                                        tag_base=1, group_span=0, buffers=[])
+            yield inst.finished
+
+        p = cluster.spawn(driver())
+        with pytest.raises(ValueError, match="group_span"):
+            cluster.sim.run_until_event(p)
+
+
+class TestDynamicExtension:
+    """Section 3.4: GPU chooses the target at trigger time."""
+
+    def test_dynamic_targets(self):
+        cluster = Cluster(n_nodes=3)
+        ep = GpuTnEndpoint(cluster[0])
+        targets = [cluster[1], cluster[2]]
+        send = cluster[0].host.alloc(2 * 64)
+        recvs = [t.host.alloc(64) for t in targets]
+
+        def driver():
+            ops = []
+            for g in range(2):
+                op = yield from ep.register_dynamic(
+                    send, 64, tag=0xE00 + g,
+                    default_target=targets[0].name,
+                    default_remote_addr=recvs[0].addr())
+                ops.append(op)
+            yield from ep.launch(
+                dynamic_target_kernel, n_workgroups=2,
+                tag=0xE00, buffers=[send], fill=0x11,
+                targets=[t.name for t in targets],
+                remote_addrs=[r.addr() for r in recvs])
+            for op in ops:
+                yield ep.wait_delivered(op)
+
+        p = cluster.spawn(driver())
+        cluster.sim.run_until_event(p)
+        for r in recvs:
+            assert (r.view(np.uint8) == 0x11).all()
+
+    def test_dynamic_unknown_field_rejected(self):
+        cluster, ep, _ = make_pair()
+        nic = cluster[0].nic
+        with pytest.raises(ValueError, match="unsupported dynamic fields"):
+            nic.mmio_write_dynamic(nic.trigger_address, 1, priority=3)

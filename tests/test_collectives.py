@@ -1,0 +1,160 @@
+"""Tests for collective schedules and ring Allreduce executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import ring_allreduce_schedule, run_ring_allreduce
+from repro.collectives.ring import allreduce_reference
+from repro.collectives.schedule import OpKind
+from repro.config import default_config
+
+
+class TestScheduleStructure:
+    def test_round_count(self):
+        s = ring_allreduce_schedule(0, 8)
+        assert s.n_rounds == 14  # 2 * (P - 1)
+
+    def test_each_round_sends_and_recvs(self):
+        s = ring_allreduce_schedule(2, 5)
+        for rnd in s.rounds:
+            kinds = [op.kind for op in rnd]
+            assert OpKind.SEND in kinds and OpKind.RECV in kinds
+
+    def test_reduce_only_in_first_phase(self):
+        s = ring_allreduce_schedule(1, 4)
+        for i, rnd in enumerate(s.rounds):
+            has_reduce = any(op.kind is OpKind.REDUCE for op in rnd)
+            assert has_reduce == (i < 3)
+
+    def test_ring_neighbors(self):
+        s = ring_allreduce_schedule(3, 4)
+        for rnd in s.rounds:
+            for op in rnd:
+                if op.kind is OpKind.SEND:
+                    assert op.peer == 0   # right of rank 3 in a 4-ring
+                elif op.kind is OpKind.RECV:
+                    assert op.peer == 2
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule(0, 1)
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule(5, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_ranks=st.integers(min_value=2, max_value=16))
+    def test_property_every_chunk_fully_reduced_and_distributed(self, n_ranks):
+        """Across all ranks' schedules: each chunk is sent exactly 2(P-1)
+        times in total, each rank reduces P-1 distinct chunks, and every
+        rank receives every chunk it doesn't compute."""
+        schedules = [ring_allreduce_schedule(r, n_ranks) for r in range(n_ranks)]
+        total_sends = sum(len(s.sends()) for s in schedules)
+        assert total_sends == n_ranks * 2 * (n_ranks - 1)
+        for s in schedules:
+            reduced = [op.chunk for rnd in s.rounds for op in rnd
+                       if op.kind is OpKind.REDUCE]
+            assert len(set(reduced)) == n_ranks - 1
+            received = {op.chunk for rnd in s.rounds for op in rnd
+                        if op.kind is OpKind.RECV}
+            assert len(received) == n_ranks  # touches every chunk index
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_ranks=st.integers(min_value=2, max_value=12))
+    def test_property_send_matches_peer_recv(self, n_ranks):
+        """What rank r sends in round k is exactly what rank r+1 expects
+        to receive in round k."""
+        schedules = [ring_allreduce_schedule(r, n_ranks) for r in range(n_ranks)]
+        for r, s in enumerate(schedules):
+            peer = schedules[(r + 1) % n_ranks]
+            for k, rnd in enumerate(s.rounds):
+                send = next(op for op in rnd if op.kind is OpKind.SEND)
+                recv = next(op for op in peer.rounds[k]
+                            if op.kind is OpKind.RECV)
+                assert send.chunk == recv.chunk
+
+
+class TestReference:
+    def test_reference_matches_float64_sum_closely(self):
+        rng = np.random.default_rng(0)
+        vecs = [rng.random(64, dtype=np.float32) for _ in range(4)]
+        ref = allreduce_reference(vecs, 4)
+        exact = np.sum(np.stack(vecs).astype(np.float64), axis=0)
+        assert np.allclose(ref, exact, rtol=1e-5)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("strategy", ("cpu", "hdn", "gds", "gputn"))
+    def test_bitwise_correct(self, strategy):
+        r = run_ring_allreduce(strategy=strategy, n_nodes=4, nbytes=64 * 1024)
+        assert r.correct
+
+    @pytest.mark.parametrize("strategy", ("cpu", "hdn", "gds", "gputn"))
+    def test_no_memory_hazards(self, strategy):
+        r = run_ring_allreduce(strategy=strategy, n_nodes=3, nbytes=48 * 1024)
+        assert r.memory_hazards == 0
+
+    def test_two_nodes_minimum(self):
+        r = run_ring_allreduce(strategy="gputn", n_nodes=2, nbytes=32 * 1024)
+        assert r.correct
+
+    def test_ragged_payload_padded(self):
+        # 100 KB over 3 nodes does not divide; the runner pads.
+        r = run_ring_allreduce(strategy="cpu", n_nodes=3, nbytes=100_000)
+        assert r.correct
+        assert r.nbytes % (3 * 4) == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError):
+            run_ring_allreduce(strategy="rdma2000")
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=6),
+        kbytes=st.sampled_from([16, 48, 96]),
+        strategy=st.sampled_from(["hdn", "gputn"]),
+    )
+    def test_property_any_shape_correct(self, n_nodes, kbytes, strategy):
+        r = run_ring_allreduce(strategy=strategy, n_nodes=n_nodes,
+                               nbytes=kbytes * 1024)
+        assert r.correct and r.memory_hazards == 0
+
+
+class TestFigure10Shape:
+    """The paper's Figure 10 claims as assertions (reduced sweep)."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.apps.allreduce_bench import strong_scaling_study
+
+        return strong_scaling_study(default_config(),
+                                    node_counts=(2, 8, 16, 24, 32),
+                                    nbytes=8 * 1024 * 1024)
+
+    def test_gpu_strategies_beat_cpu_at_small_node_counts(self, study):
+        for s in ("hdn", "gds", "gputn"):
+            assert study.speedup_vs_cpu(s)[0] > 1.0, s
+
+    def test_hdn_crosses_below_cpu_near_24_nodes(self, study):
+        crossover = study.crossover_node_count("hdn")
+        assert crossover is not None and 16 <= crossover <= 32
+
+    def test_gds_and_gputn_never_cross(self, study):
+        assert study.crossover_node_count("gds") is None
+        assert study.crossover_node_count("gputn") is None
+
+    def test_gputn_beats_hdn_at_scale(self, study):
+        at32 = {s: study.speedup_vs_cpu(s)[-1] for s in ("hdn", "gds", "gputn")}
+        assert at32["gputn"] > at32["gds"] > at32["hdn"]
+
+    def test_hdn_declines_monotonically(self, study):
+        sp = study.speedup_vs_cpu("hdn")
+        assert all(a >= b for a, b in zip(sp, sp[1:]))
+
+    def test_cpu_busy_time_lower_for_gputn_than_hdn(self):
+        """Table 1's CPU-overhead column, quantified: GPU-TN keeps the
+        CPU off the critical path."""
+        hdn = run_ring_allreduce(strategy="hdn", n_nodes=4, nbytes=1024 * 1024)
+        tn = run_ring_allreduce(strategy="gputn", n_nodes=4, nbytes=1024 * 1024)
+        assert tn.cpu_busy_ns < hdn.cpu_busy_ns

@@ -1,0 +1,118 @@
+"""Unit tests for the Table 2 configuration (repro.config)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GB,
+    KB,
+    MB,
+    US,
+    CacheConfig,
+    KernelLatencyConfig,
+    NetworkConfig,
+    SystemConfig,
+    default_config,
+)
+
+
+class TestUnits:
+    def test_unit_constants(self):
+        assert US == 1_000
+        assert KB == 1024 and MB == 1024 * KB and GB == 1024 * MB
+
+
+class TestCacheConfig:
+    def test_valid_geometry(self):
+        c = CacheConfig(64 * KB, 2, 2)
+        assert c.n_sets == 64 * KB // (64 * 2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 2, 2)
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 2)
+
+
+class TestDefaults:
+    """The defaults must reproduce the paper's Table 2 exactly."""
+
+    def test_cpu_block(self):
+        cfg = default_config()
+        assert cfg.cpu.issue_width == 8
+        assert cfg.cpu.freq_ghz == 4.0
+        assert cfg.cpu.cores == 8
+        assert cfg.cpu.l1d.size_bytes == 64 * KB and cfg.cpu.l1d.assoc == 2
+        assert cfg.cpu.l2.size_bytes == 2 * MB and cfg.cpu.l2.assoc == 8
+        assert cfg.cpu.l3.size_bytes == 16 * MB and cfg.cpu.l3.assoc == 16
+        assert cfg.memory.channels == 8 and cfg.memory.freq_mhz == 2133
+
+    def test_gpu_block(self):
+        cfg = default_config()
+        assert cfg.gpu.freq_ghz == 1.0
+        assert cfg.gpu.compute_units == 24
+        assert cfg.gpu.l1d.size_bytes == 16 * KB and cfg.gpu.l1d.latency_cycles == 25
+        assert cfg.gpu.l1i.size_bytes == 32 * KB and cfg.gpu.l1i.assoc == 8
+        assert cfg.gpu.l2.size_bytes == 768 * KB and cfg.gpu.l2.latency_cycles == 150
+
+    def test_kernel_latencies(self):
+        cfg = default_config()
+        assert cfg.kernel.launch_ns == 1500
+        assert cfg.kernel.teardown_ns == 1500
+
+    def test_network_block(self):
+        cfg = default_config()
+        assert cfg.network.link_latency_ns == 100
+        assert cfg.network.switch_latency_ns == 100
+        assert cfg.network.bandwidth_gbps == 100.0
+        assert cfg.network.topology == "star"
+
+    def test_describe_matches_paper_text(self):
+        table = default_config().describe()
+        assert table["CPU and Memory Configuration"]["Type"] == "8 Wide OOO, 4GHz, 8 cores"
+        assert table["GPU Configuration"]["Type"] == "1 GHz, 24 Compute Units"
+        assert table["GPU Configuration"]["Kernel Latencies"] == "1.5us launch / 1.5us teardown"
+        assert table["Network Configuration"]["Latency"] == "100ns Link, 100ns Switch"
+        assert table["Network Configuration"]["Bandwidth"] == "100Gbps"
+        assert table["Network Configuration"]["Topology"] == "Star (single switch)"
+
+
+class TestNetworkMath:
+    def test_bytes_per_ns(self):
+        assert NetworkConfig().bytes_per_ns == pytest.approx(12.5)
+
+    def test_serialization_scales_linearly(self):
+        net = NetworkConfig()
+        assert net.serialization_ns(0) == 0
+        assert net.serialization_ns(125) == 10
+        assert net.serialization_ns(8 * MB) == pytest.approx(8 * MB / 12.5, abs=1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig().serialization_ns(-1)
+
+
+class TestImmutability:
+    def test_config_is_frozen(self):
+        cfg = default_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.seed = 1  # type: ignore[misc]
+
+    def test_with_replaces_sections(self):
+        cfg = default_config()
+        fast = cfg.with_(kernel=KernelLatencyConfig(launch_ns=100, teardown_ns=100))
+        assert fast.kernel.launch_ns == 100
+        assert cfg.kernel.launch_ns == 1500  # original untouched
+
+    def test_negative_kernel_latency_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLatencyConfig(launch_ns=-1)
+
+
+def test_cycles_to_ns():
+    cfg = default_config()
+    assert cfg.cpu.cycles_to_ns(4) == 1     # 4 GHz
+    assert cfg.gpu.cycles_to_ns(150) == 150  # 1 GHz

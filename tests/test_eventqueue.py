@@ -1,0 +1,125 @@
+"""Tests for the completion event queue (repro.nic.eventqueue)."""
+
+import numpy as np
+import pytest
+
+from repro.nic.eventqueue import EventKind, EventQueue, EventQueueOverflow
+
+from conftest import build_nic_testbed
+
+
+def attach(tb, node="n1", depth=1024):
+    return EventQueue(tb.nics[node], depth=depth).attach()
+
+
+class TestArrivalEvents:
+    def test_put_arrival_recorded(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        tb.nics["n0"].post_put(src.addr(), 64, "n1", dst.addr(), wire_tag=9)
+        tb.sim.run()
+        record = eq.poll()
+        assert record is not None
+        assert record.kind is EventKind.PUT_ARRIVED
+        assert record.nbytes == 64 and record.wire_tag == 9
+        assert record.src == "n0"
+        assert eq.poll() is None
+
+    def test_send_arrival_recorded(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 32)
+        dst = tb.alloc_registered("n1", 32)
+        tb.nics["n1"].post_recv(3, dst.addr(), 32)
+        tb.nics["n0"].post_put(src.addr(), 32, "n1", None, wire_tag=3,
+                               kind="send")
+        tb.sim.run()
+        assert eq.poll().kind is EventKind.RECV_MATCHED
+
+    def test_events_in_arrival_order(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 16)
+        dst = tb.alloc_registered("n1", 16)
+        for tag in (1, 2, 3):
+            tb.nics["n0"].post_put(src.addr(), 16, "n1", dst.addr(),
+                                   wire_tag=tag)
+        tb.sim.run()
+        assert [eq.poll().wire_tag for _ in range(3)] == [1, 2, 3]
+
+
+class TestLocalCompletionEvents:
+    def test_tracked_put_reports_send_complete(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n0")
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        h = tb.nics["n0"].post_put(src.addr(), 64, "n1", dst.addr())
+        eq.track_put(h)
+        tb.sim.run()
+        kinds = [r.kind for r in eq.drain()]
+        assert EventKind.SEND_COMPLETE in kinds
+
+
+class TestWaitSemantics:
+    def test_wait_blocks_until_event(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+
+        def consumer():
+            record = yield eq.wait()
+            return (tb.sim.now, record.kind)
+
+        p = tb.sim.spawn(consumer())
+        tb.sim.schedule(10_000, lambda: tb.nics["n0"].post_put(
+            src.addr(), 8, "n1", dst.addr()))
+        t, kind = tb.sim.run_until_event(p)
+        assert t > 10_000 and kind is EventKind.PUT_ARRIVED
+
+    def test_wait_returns_queued_immediately(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        ev = eq.wait()
+        assert ev.triggered
+
+
+class TestOverflow:
+    def test_overflow_raises(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1", depth=2)
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        for _ in range(3):
+            tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        with pytest.raises(EventQueueOverflow):
+            tb.sim.run()
+
+    def test_bad_depth_rejected(self, nic_testbed):
+        with pytest.raises(ValueError):
+            EventQueue(nic_testbed.nics["n0"], depth=0)
+
+    def test_double_attach_rejected(self, nic_testbed):
+        eq = attach(nic_testbed, "n0")
+        with pytest.raises(RuntimeError, match="already attached"):
+            eq.attach()
+
+
+class TestCounts:
+    def test_counts_summary(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        assert eq.counts() == {EventKind.PUT_ARRIVED: 2}
+        assert len(eq) == 2

@@ -1,0 +1,219 @@
+"""Unit tests for the GPU model (repro.gpu)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import default_config
+from repro.gpu import FIGURE1_GPUS, ConstantLaunchModel, QueueDepthLaunchModel
+from repro.gpu.kernel import KernelDescriptor
+
+
+def empty_kernel(ctx):
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
+def make_node():
+    cluster = Cluster(n_nodes=2)
+    return cluster, cluster[0]
+
+
+class TestLaunchModels:
+    def test_constant_model_matches_table2(self):
+        cfg = default_config()
+        m = ConstantLaunchModel.from_config(cfg.kernel)
+        assert m.launch_ns(1) == 1500
+        assert m.teardown_ns(999) == 1500
+        assert m.round_trip_ns(4) == 3000
+
+    def test_queue_depth_model_monotone_decreasing(self):
+        m = FIGURE1_GPUS["GPU 1"]
+        depths = [1, 4, 16, 64, 256]
+        lats = [m.per_kernel_ns(d) for d in depths]
+        assert all(a > b for a, b in zip(lats, lats[1:]))
+
+    def test_figure1_envelope(self):
+        """Paper: 3-20 us depending on GPU and depth; best case 3-4 us."""
+        for m in FIGURE1_GPUS.values():
+            assert 3_000 <= m.per_kernel_ns(256) <= 4_500
+            assert m.per_kernel_ns(1) <= 21_000
+        assert FIGURE1_GPUS["GPU 1"].per_kernel_ns(1) >= 18_000
+
+    def test_launch_plus_teardown_sum(self):
+        m = QueueDepthLaunchModel("x", floor_ns=3000, ramp_ns=1000)
+        for d in (1, 7, 100):
+            assert m.launch_ns(d) + m.teardown_ns(d) == m.per_kernel_ns(d)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLaunchModel().launch_ns(0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            QueueDepthLaunchModel("bad", floor_ns=0, ramp_ns=1)
+
+
+class TestKernelDescriptor:
+    def test_defaults(self):
+        d = KernelDescriptor(fn=empty_kernel, n_workgroups=4)
+        assert d.name == "empty_kernel" and d.wg_size == 256
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor(fn=empty_kernel, n_workgroups=0)
+        with pytest.raises(ValueError):
+            KernelDescriptor(fn=empty_kernel, n_workgroups=1, wg_size=0)
+
+
+class TestKernelExecution:
+    def test_empty_kernel_takes_launch_plus_teardown(self):
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=1))
+        cluster.sim.run_until_event(inst.finished)
+        assert cluster.sim.now == 3000  # 1.5us + 1.5us, zero work
+
+    def test_started_fires_after_launch_latency(self):
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=1))
+        assert cluster.sim.run_until_event(inst.started) == 1500
+
+    def test_compute_time_charged(self):
+        def busy(ctx):
+            yield ctx.compute(5000)
+
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=busy, n_workgroups=1))
+        cluster.sim.run_until_event(inst.finished)
+        assert cluster.sim.now == 3000 + 5000
+
+    def test_workgroups_run_in_parallel_up_to_cu_count(self):
+        def busy(ctx):
+            yield ctx.compute(1000)
+
+        cluster, node = make_node()
+        ncu = cluster.config.gpu.compute_units
+        # 2x CUs worth of work-groups -> two waves.
+        inst = node.gpu.launch(KernelDescriptor(fn=busy, n_workgroups=2 * ncu))
+        cluster.sim.run_until_event(inst.finished)
+        assert cluster.sim.now == 3000 + 2000
+
+    def test_kernels_serialize_on_one_queue(self):
+        cluster, node = make_node()
+        i1 = node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=1))
+        i2 = node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=1))
+        cluster.sim.run_until_event(i2.finished)
+        assert i1.finished.value == 3000
+        assert i2.finished.value == 6000
+
+    def test_kernel_args_accessible(self):
+        seen = {}
+
+        def probe(ctx):
+            seen["x"] = ctx.arg("x")
+            seen["wg"] = ctx.wg_id
+            return
+            yield
+
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=probe, n_workgroups=1,
+                                                args={"x": 42}))
+        cluster.sim.run_until_event(inst.finished)
+        assert seen == {"x": 42, "wg": 0}
+
+    def test_missing_arg_is_helpful(self):
+        def probe(ctx):
+            ctx.arg("nope")
+            return
+            yield
+
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=probe, n_workgroups=1))
+        with pytest.raises(KeyError, match="no argument 'nope'"):
+            cluster.sim.run_until_event(inst.finished)
+
+    def test_persistent_kernel_occupancy_guard(self):
+        cluster, node = make_node()
+        ncu = cluster.config.gpu.compute_units
+        with pytest.raises(ValueError, match="deadlock"):
+            node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=ncu + 1,
+                                             args={"persistent": True}))
+
+    def test_workgroup_data_write_lands(self):
+        def writer(ctx):
+            buf = ctx.arg("buf")
+            ctx.write(buf, np.full(16, ctx.wg_id + 1, dtype=np.uint8),
+                      offset=ctx.wg_id * 16)
+            yield ctx.compute(10)
+
+        cluster, node = make_node()
+        buf = node.host.alloc(64, "out")
+        inst = node.gpu.launch(KernelDescriptor(fn=writer, n_workgroups=4,
+                                                args={"buf": buf}))
+        cluster.sim.run_until_event(inst.finished)
+        data = buf.view(np.uint8)
+        for wg in range(4):
+            assert (data[wg * 16:(wg + 1) * 16] == wg + 1).all()
+
+
+class TestGpuTriggerFromKernel:
+    def test_trigger_reaches_nic(self):
+        def trig(ctx):
+            yield ctx.fence_release_system()
+            yield ctx.store_trigger(5)
+
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=trig, n_workgroups=1))
+        cluster.run()
+        assert node.nic.stats["trigger_writes"] == 1
+        entry = node.nic.trigger_list.entry(5)
+        assert entry is not None and entry.counter == 1
+
+    def test_intra_kernel_trigger_happens_before_kernel_end(self):
+        """The defining property of GPU-TN (Figure 3): the NIC sees the
+        trigger while the kernel is still executing."""
+        def trig_then_work(ctx):
+            yield ctx.fence_release_system()
+            yield ctx.store_trigger(1)
+            yield ctx.compute(50_000)  # long tail of additional work
+
+        cluster, node = make_node()
+        inst = node.gpu.launch(KernelDescriptor(fn=trig_then_work, n_workgroups=1))
+        cluster.run()
+        trig_event = cluster.tracer.first("trigger-store", node=node.name)
+        assert trig_event is not None
+        assert trig_event.time < inst.finished.value
+
+    def test_poll_flag_sees_nic_write(self):
+        def poller(ctx):
+            flag = ctx.arg("flag")
+            value = yield from ctx.poll_flag(flag, at_least=1)
+            ctx.desc.args["seen"] = value
+
+        cluster, node = make_node()
+        flag = node.host.alloc(4, "flag")
+        desc = KernelDescriptor(fn=poller, n_workgroups=1, args={"flag": flag})
+        inst = node.gpu.launch(desc)
+
+        def nic_writes_flag():
+            flag.view(np.uint32)[0] = 1
+            from repro.memory import Agent
+            node.mem.record_write(cluster.sim.now, Agent.NIC, flag)
+
+        cluster.sim.schedule(10_000, nic_writes_flag)
+        cluster.sim.run_until_event(inst.finished)
+        assert desc.args["seen"] == 1
+        assert cluster.sim.now >= 10_000
+        assert node.mem.hazard_count() == 0  # acquire polling is clean
+
+    def test_doorbell_command_rings_after_kernel(self):
+        cluster, node = make_node()
+        src = node.host.alloc(64)
+        dst = cluster[1].host.alloc(64)
+        h = node.nic.post_put(src.addr(), 64, cluster[1].name, dst.addr(),
+                              deferred=True)
+        inst = node.gpu.launch(KernelDescriptor(fn=empty_kernel, n_workgroups=1))
+        cmd = node.gpu.enqueue_doorbell(h)
+        cluster.run()
+        assert cmd.rung.value >= inst.finished.value
+        assert h.delivered.triggered

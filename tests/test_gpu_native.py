@@ -1,0 +1,91 @@
+"""Tests for the GPU Native Networking extension and triggered gets."""
+
+import numpy as np
+import pytest
+
+from repro.apps.microbench import run_microbenchmark
+from repro.config import default_config
+
+from conftest import build_nic_testbed
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = default_config()
+    return {s: run_microbenchmark(cfg, s)
+            for s in ("gputn", "gpu-host", "gpu-native", "gds", "hdn")}
+
+
+class TestGpuNativePlacement:
+    """The paper's §5.1.1 expectation: GPU-TN offers 'improved latency'
+    over GPU Native because packet creation moves to the CPU."""
+
+    def test_payload_delivered(self, results):
+        r = results["gpu-native"]
+        assert r.payload_ok and r.memory_hazards == 0
+
+    def test_slower_than_gputn(self, results):
+        assert (results["gpu-native"].normalized_target_completion_ns
+                > results["gputn"].normalized_target_completion_ns)
+
+    def test_intra_kernel_but_stack_costs(self, results):
+        """Network posted from within the kernel, but the in-kernel stack
+        makes the kernel itself much longer than GPU-TN's."""
+        native = results["gpu-native"]
+        assert native.initiator.network_posted < native.initiator.kernel_finished
+        assert native.kernel_exec_ns > results["gputn"].kernel_exec_ns
+
+    def test_no_cpu_networking_work(self, results):
+        """Table 1's 'CPU Overhead: NA' -- nothing posted by the host."""
+        assert results["gpu-native"].initiator.strategy == "gpu-native"
+
+    def test_full_taxonomy_latency_ordering(self, results):
+        """The complete latency picture across all five classes."""
+        t = {s: r.normalized_target_completion_ns for s, r in results.items()}
+        assert t["gputn"] < t["gpu-host"] < t["gds"] < t["hdn"]
+        assert t["gputn"] < t["gpu-native"]
+
+
+class TestTriggeredGet:
+    def test_triggered_get_fires_at_threshold(self, nic_testbed):
+        tb = nic_testbed
+        local = tb.alloc_registered("n0", 64)
+        remote = tb.alloc_registered("n1", 64)
+        remote.view(np.uint8)[:] = 0xEE
+        nic = tb.nics["n0"]
+        entry = nic.register_triggered_get(tag=31, threshold=2,
+                                           local_addr=local.addr(), nbytes=64,
+                                           target="n1",
+                                           remote_addr=remote.addr())
+        nic.mmio_write(nic.trigger_address, 31)
+        tb.sim.run()
+        assert not nic.get_handle_for(entry).complete.triggered
+        nic.mmio_write(nic.trigger_address, 31)
+        tb.sim.run_until_event(nic.get_handle_for(entry).complete)
+        assert (local.view(np.uint8) == 0xEE).all()
+
+    def test_triggered_get_relaxed_sync(self, nic_testbed):
+        """Early triggers also arm gets registered later."""
+        tb = nic_testbed
+        local = tb.alloc_registered("n0", 32)
+        remote = tb.alloc_registered("n1", 32)
+        remote.view(np.uint8)[:] = 0x44
+        nic = tb.nics["n0"]
+        nic.mmio_write(nic.trigger_address, 55)
+        tb.sim.run()
+        entry = nic.register_triggered_get(tag=55, threshold=1,
+                                           local_addr=local.addr(), nbytes=32,
+                                           target="n1",
+                                           remote_addr=remote.addr())
+        tb.sim.run_until_event(nic.get_handle_for(entry).complete)
+        assert (local.view(np.uint8) == 0x44).all()
+
+    def test_get_handle_for_rejects_puts(self, nic_testbed):
+        tb = nic_testbed
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        entry = tb.nics["n0"].register_triggered_put(
+            tag=1, threshold=1, local_addr=src.addr(), nbytes=8,
+            target="n1", remote_addr=dst.addr())
+        with pytest.raises(ValueError, match="not a get"):
+            tb.nics["n0"].get_handle_for(entry)

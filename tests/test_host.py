@@ -1,0 +1,237 @@
+"""Unit tests for the host runtime (repro.host)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.gpu.kernel import KernelDescriptor
+
+
+def make_cluster(n=2):
+    return Cluster(n_nodes=n)
+
+
+def run_proc(cluster, gen):
+    p = cluster.spawn(gen)
+    return cluster.sim.run_until_event(p)
+
+
+class TestCompute:
+    def test_compute_bytes_charges_time(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+
+        def proc():
+            yield from host.compute_bytes(550_000)  # 550 KB at 55 B/ns
+            return cluster.sim.now
+
+        assert run_proc(cluster, proc()) == 10_000
+
+    def test_zero_bytes_is_free(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+
+        def proc():
+            yield from host.compute_bytes(0)
+            return cluster.sim.now
+
+        assert run_proc(cluster, proc()) == 0
+
+    def test_busy_ns_accumulates(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+
+        def proc():
+            yield from host.compute_bytes(55_000)
+            yield from host.compute_bytes(55_000)
+
+        run_proc(cluster, proc())
+        assert host.stats["busy_ns"] == 2_000
+
+
+class TestSendRecv:
+    def test_roundtrip_moves_data(self):
+        cluster = make_cluster()
+        a, b = cluster[0], cluster[1]
+        src = a.host.alloc(128)
+        dst = b.host.alloc(128)
+        a.host.cpu_write(src, np.full(128, 7, dtype=np.uint8))
+
+        def sender():
+            yield from a.host.send(src, 128, b.name, tag=5)
+
+        def receiver():
+            h = b.host.post_recv(5, dst, 128)
+            yield from b.host.wait_recv(h)
+            return bytes(dst.view(np.uint8)[:4])
+
+        cluster.spawn(sender())
+        p = cluster.spawn(receiver())
+        assert cluster.sim.run_until_event(p) == b"\x07" * 4
+
+    def test_send_charges_packet_build_cost(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+        dst = cluster[1].host.alloc(64)
+        src = host.alloc(64)
+
+        def proc():
+            yield from host.send(src, 64, cluster[1].name, tag=1)
+            return cluster.sim.now
+
+        cpu = cluster.config.cpu
+        assert run_proc(cluster, proc()) == cpu.packet_build_ns + cpu.send_post_ns
+        del dst
+
+    def test_wait_recv_failure_propagates(self):
+        cluster = make_cluster()
+        a, b = cluster[0], cluster[1]
+        src = a.host.alloc(128)
+        dst = b.host.alloc(64)
+
+        def sender():
+            yield from a.host.send(src, 128, b.name, tag=9)
+
+        def receiver():
+            h = b.host.post_recv(9, dst, 64)  # too small
+            yield from b.host.wait_recv(h)
+
+        cluster.spawn(sender())
+        p = cluster.spawn(receiver())
+        with pytest.raises(ValueError, match="overflow"):
+            cluster.sim.run_until_event(p)
+
+
+class TestKernelPath:
+    def test_launch_kernel_charges_sw_cost(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+
+        def empty(ctx):
+            return
+            yield
+
+        def proc():
+            inst = yield from host.launch_kernel(
+                KernelDescriptor(fn=empty, n_workgroups=1))
+            t_launched = cluster.sim.now
+            yield inst.finished
+            return t_launched, cluster.sim.now
+
+        t_launched, t_done = run_proc(cluster, proc())
+        assert t_launched == cluster.config.cpu.kernel_dispatch_sw_ns
+        assert t_done == t_launched + 3000
+
+    def test_wait_kernel_blocking_costs_more_than_spin(self):
+        def empty(ctx):
+            return
+            yield
+
+        times = {}
+        for mode in ("spin", "blocking"):
+            cluster = make_cluster()
+            host = cluster[0].host
+
+            def proc(host=host, cluster=cluster, mode=mode):
+                inst = yield from host.launch_kernel(
+                    KernelDescriptor(fn=empty, n_workgroups=1))
+                yield from host.wait_kernel(inst, mode=mode)
+                return cluster.sim.now
+
+            times[mode] = run_proc(cluster, proc())
+        assert (times["blocking"] - times["spin"]
+                == cluster.config.cpu.kernel_sync_block_ns
+                - cluster.config.cpu.completion_poll_ns)
+
+    def test_wait_kernel_bad_mode(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+
+        def empty(ctx):
+            return
+            yield
+
+        def proc():
+            inst = yield from host.launch_kernel(
+                KernelDescriptor(fn=empty, n_workgroups=1))
+            yield from host.wait_kernel(inst, mode="nap")
+
+        p = cluster.spawn(proc())
+        with pytest.raises(ValueError, match="unknown wait mode"):
+            cluster.sim.run_until_event(p)
+
+    def test_launch_without_gpu_rejected(self):
+        cluster = Cluster(n_nodes=1, with_gpu=False)
+        host = cluster[0].host
+
+        def empty(ctx):
+            return
+            yield
+
+        def proc():
+            yield from host.launch_kernel(KernelDescriptor(fn=empty, n_workgroups=1))
+
+        p = cluster.spawn(proc())
+        with pytest.raises(RuntimeError, match="no GPU"):
+            cluster.sim.run_until_event(p)
+
+
+class TestFlags:
+    def test_poll_flag_returns_value(self):
+        cluster = make_cluster()
+        host = cluster[0].host
+        flag = host.alloc(4)
+
+        def proc():
+            value = yield from host.poll_flag(flag, at_least=3)
+            return value, cluster.sim.now
+
+        def bump():
+            flag.view(np.uint32)[0] += 1
+
+        for t in (100, 200, 300):
+            cluster.sim.schedule(t, bump)
+        value, t = run_proc(cluster, proc())
+        assert value == 3 and t >= 300
+
+
+class TestAlloc:
+    def test_alloc_registers_by_default(self):
+        cluster = make_cluster()
+        buf = cluster[0].host.alloc(64)
+        assert buf.registered
+
+    def test_alloc_unregistered(self):
+        cluster = make_cluster()
+        buf = cluster[0].host.alloc(64, register=False)
+        assert not buf.registered
+
+
+class TestCluster:
+    def test_node_count_and_names(self):
+        cluster = Cluster(n_nodes=3)
+        assert len(cluster) == 3
+        assert [n.name for n in cluster] == ["node0", "node1", "node2"]
+        assert cluster.node("node1") is cluster[1]
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)
+
+    def test_without_gpu(self):
+        cluster = Cluster(n_nodes=1, with_gpu=False)
+        assert cluster[0].gpu is None
+
+    def test_nodes_share_fabric_but_not_memory(self):
+        cluster = Cluster(n_nodes=2)
+        assert cluster[0].space is not cluster[1].space
+        assert cluster[0].nic.fabric is cluster[1].nic.fabric
+
+    def test_hazard_aggregation(self):
+        from repro.memory import Agent
+
+        cluster = Cluster(n_nodes=2)
+        buf = cluster[0].host.alloc(64)
+        cluster[0].mem.record_write(0, Agent.GPU, buf)
+        cluster[0].mem.record_read(1, Agent.NIC, buf)
+        assert cluster.total_hazards() == 1

@@ -1,0 +1,124 @@
+"""Integration tests for the Figure 8 microbenchmark (repro.apps.microbench).
+
+These encode the paper's headline microbenchmark claims as assertions:
+ordering, intra-kernel delivery, and the approximate improvement factors.
+"""
+
+import pytest
+
+from repro.apps.microbench import (
+    decomposition_rows,
+    run_all_strategies,
+    run_microbenchmark,
+)
+from repro.config import default_config
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_strategies(default_config())
+
+
+class TestCorrectness:
+    def test_all_strategies_deliver_payload(self, results):
+        for key, r in results.items():
+            assert r.payload_ok, key
+
+    def test_no_memory_hazards(self, results):
+        for key, r in results.items():
+            assert r.memory_hazards == 0, key
+
+    def test_spans_present_for_gpu_strategies(self, results):
+        for key in ("hdn", "gds", "gputn"):
+            spans = results[key].spans
+            for phase in ("kernel-launch", "kernel-exec", "kernel-teardown"):
+                assert ("initiator", phase) in spans, (key, phase)
+
+
+class TestPaperOrdering:
+    """Figure 8: GPU-TN < GDS < HDN target completion."""
+
+    def test_strict_ordering(self, results):
+        t = {k: results[k].normalized_target_completion_ns
+             for k in ("gputn", "gds", "hdn")}
+        assert t["gputn"] < t["gds"] < t["hdn"]
+
+    def test_gputn_vs_gds_about_25pct(self, results):
+        gain = 1 - (results["gputn"].normalized_target_completion_ns
+                    / results["gds"].normalized_target_completion_ns)
+        assert 0.15 <= gain <= 0.35, f"paper: ~25%, got {gain:.0%}"
+
+    def test_gputn_vs_hdn_about_35pct(self, results):
+        gain = 1 - (results["gputn"].normalized_target_completion_ns
+                    / results["hdn"].normalized_target_completion_ns)
+        assert 0.25 <= gain <= 0.45, f"paper: ~35%, got {gain:.0%}"
+
+    def test_absolute_scale_matches_paper(self, results):
+        """Paper: GPU-TN 2.71 us, GDS 3.76 us, HDN 4.21 us (+-15%)."""
+        paper = {"gputn": 2710, "gds": 3760, "hdn": 4210}
+        for key, expect in paper.items():
+            got = results[key].normalized_target_completion_ns
+            assert abs(got - expect) / expect < 0.15, (key, got, expect)
+
+
+class TestIntraKernelProperty:
+    def test_gputn_target_completes_before_initiator_kernel_ends(self, results):
+        """The paper's signature observation: with GPU-TN 'the target node
+        receives the network data before the kernel on the initiator
+        completes'."""
+        r = results["gputn"]
+        assert r.target_completion_ns < r.initiator.kernel_finished
+
+    def test_kernel_boundary_strategies_complete_after_kernel(self, results):
+        for key in ("gds", "hdn"):
+            r = results[key]
+            assert r.target_completion_ns > r.initiator.kernel_finished, key
+
+    def test_gputn_kernel_exec_slightly_longer_than_gds(self, results):
+        """Figure 8: the GPU-TN kernel runs slightly longer (trigger store
+        inside the kernel): 0.49 us vs 0.43 us."""
+        assert results["gputn"].kernel_exec_ns > results["gds"].kernel_exec_ns
+
+
+class TestSpanCalibration:
+    def test_launch_and_teardown_match_table2(self, results):
+        for key in ("hdn", "gds", "gputn"):
+            spans = results[key].spans
+            launch = spans[("initiator", "kernel-launch")]
+            teardown = spans[("initiator", "kernel-teardown")]
+            assert launch[1] - launch[0] == 1500
+            assert teardown[1] - teardown[0] == 1500
+
+
+class TestRelaxedSyncOverlap:
+    def test_overlap_post_still_correct(self):
+        r = run_microbenchmark(strategy="gputn", overlap_post=True)
+        assert r.payload_ok and r.memory_hazards == 0
+
+    def test_overlap_post_not_slower(self):
+        base = run_microbenchmark(strategy="gputn", overlap_post=False)
+        overlap = run_microbenchmark(strategy="gputn", overlap_post=True)
+        assert (overlap.target_completion_ns <= base.target_completion_ns)
+
+
+class TestReporting:
+    def test_decomposition_rows_render(self, results):
+        rows = decomposition_rows(results)
+        assert any("GPUTN" in r for r in rows)
+        assert len(rows) == 6  # two lines per GPU strategy
+
+    def test_speedup_helper(self, results):
+        assert results["gputn"].speedup_vs(results["hdn"]) > 1.0
+
+
+class TestScaling:
+    def test_larger_payloads_take_longer(self):
+        small = run_microbenchmark(strategy="gputn", nbytes=64)
+        large = run_microbenchmark(strategy="gputn", nbytes=64 * 1024)
+        assert (large.target_completion_ns > small.target_completion_ns)
+
+    def test_cpu_strategy_runs(self):
+        r = run_microbenchmark(strategy="cpu")
+        assert r.payload_ok
+        # No GPU spans for the CPU flow.
+        assert ("initiator", "kernel-exec") not in r.spans

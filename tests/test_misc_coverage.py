@@ -1,0 +1,154 @@
+"""Coverage for remaining public-API corners across the package."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure9_report, figure10_report, figure11_report
+from repro.cluster import Cluster
+from repro.config import MB, default_config
+from repro.gpu.kernel import KernelDescriptor
+
+
+class TestKernelContextDetails:
+    def _run_kernel(self, fn, n_workgroups=1, wg_size=256, **args):
+        cluster = Cluster(n_nodes=2)
+        desc = KernelDescriptor(fn=fn, n_workgroups=n_workgroups,
+                                wg_size=wg_size, args=args)
+        inst = cluster[0].gpu.launch(desc)
+        cluster.sim.run_until_event(inst.finished)
+        return cluster, desc
+
+    def test_compute_bytes_zero_is_free(self):
+        times = {}
+
+        def probe(ctx):
+            t0 = ctx.sim.now
+            yield ctx.compute_bytes(0)
+            times["delta"] = ctx.sim.now - t0
+
+        self._run_kernel(probe)
+        assert times["delta"] == 0
+
+    def test_negative_compute_rejected(self):
+        def probe(ctx):
+            yield ctx.compute(-1)
+
+        cluster = Cluster(n_nodes=1)
+        inst = cluster[0].gpu.launch(KernelDescriptor(fn=probe, n_workgroups=1))
+        with pytest.raises(ValueError):
+            cluster.sim.run_until_event(inst.finished)
+
+    def test_per_workitem_trigger_counts_stores(self):
+        def probe(ctx):
+            yield ctx.fence_release_system()
+            yield ctx.store_trigger_per_workitem(0x800, 32)
+
+        cluster, _ = self._run_kernel(probe)
+        assert cluster[0].nic.stats["trigger_writes"] == 32
+
+    def test_per_workitem_zero_items_rejected(self):
+        def probe(ctx):
+            yield ctx.store_trigger_per_workitem(0x800, 0)
+
+        cluster = Cluster(n_nodes=1)
+        inst = cluster[0].gpu.launch(KernelDescriptor(fn=probe, n_workgroups=1))
+        with pytest.raises(ValueError):
+            cluster.sim.run_until_event(inst.finished)
+
+    def test_poll_flag_invalid_target_rejected(self):
+        def probe(ctx):
+            yield from ctx.poll_flag(ctx.arg("flag"), at_least=0)
+
+        cluster = Cluster(n_nodes=1)
+        flag = cluster[0].host.alloc(4)
+        inst = cluster[0].gpu.launch(
+            KernelDescriptor(fn=probe, n_workgroups=1, args={"flag": flag}))
+        with pytest.raises(ValueError):
+            cluster.sim.run_until_event(inst.finished)
+
+    def test_kernel_read_acquire_path(self):
+        from repro.memory import Agent
+
+        seen = {}
+
+        def probe(ctx):
+            buf = ctx.arg("buf")
+            seen["value"] = int(ctx.read(buf, np.uint32, count=1,
+                                         acquire=True)[0])
+            yield ctx.compute(1)
+
+        cluster = Cluster(n_nodes=2)
+        buf = cluster[0].host.alloc(4)
+        buf.view(np.uint32)[0] = 1234
+        cluster[0].mem.record_write(0, Agent.NIC, buf)
+        inst = cluster[0].gpu.launch(
+            KernelDescriptor(fn=probe, n_workgroups=1, args={"buf": buf}))
+        cluster.sim.run_until_event(inst.finished)
+        assert seen["value"] == 1234
+        assert cluster.total_hazards() == 0
+
+
+class TestReportsMini:
+    """Small-scale exercises of the heavier report functions."""
+
+    def test_figure9_report_tiny(self, capsys):
+        data = figure9_report(sizes=(16, 32), iters=1)
+        assert set(data) == {"cpu", "gds", "gputn"}
+        assert all(len(v) == 2 for v in data.values())
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_figure10_report_tiny(self, capsys):
+        data = figure10_report(node_counts=(2, 4), nbytes=256 * 1024)
+        assert all(len(v) == 2 for v in data.values())
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_figure11_report_small(self, capsys):
+        data = figure11_report(n_nodes=2)
+        assert set(data) == {"alexnet", "an4-lstm", "cifar", "large-synth",
+                             "mnist-conv", "mnist-hidden"}
+        assert "Figure 11" in capsys.readouterr().out
+
+
+class TestMainEntry:
+    def test_main_runs_subset(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tab1", "tab3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+
+class TestLazyPackageExports:
+    def test_lazy_attributes_resolve(self):
+        import repro
+
+        assert callable(repro.run_microbenchmark)
+        assert callable(repro.run_jacobi)
+        assert callable(repro.run_allreduce)
+        assert callable(repro.project_deep_learning)
+        assert repro.Cluster is Cluster
+        assert "gputn" in repro.STRATEGIES
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            _ = repro.not_a_thing
+
+
+class TestAllreduceBenchHelpers:
+    def test_scaling_study_helpers(self):
+        from repro.apps.allreduce_bench import strong_scaling_study
+
+        study = strong_scaling_study(default_config(), node_counts=(2, 4),
+                                     nbytes=256 * 1024,
+                                     strategies=("cpu", "gputn"))
+        sp = study.speedup_vs_cpu("gputn")
+        assert len(sp) == 2 and all(v > 0 for v in sp)
+        assert study.crossover_node_count("gputn") is None
+
+    def test_run_allreduce_wrapper(self):
+        from repro.apps.allreduce_bench import run_allreduce
+
+        r = run_allreduce(n_nodes=2, nbytes=64 * 1024)
+        assert r.correct

@@ -1,0 +1,97 @@
+"""Extension: clusters on multi-switch fabrics (GraphTopology).
+
+The paper evaluates a single-switch star; the fabric layer generalizes to
+arbitrary switch graphs, and GPU-TN's semantics are topology-agnostic.
+These tests run the microbench protocol across a two-switch fabric.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import default_config
+from repro.net.topology import GraphTopology, StarTopology
+
+
+def two_switch_topology(n_nodes=4):
+    """node0,node1 on switch s0; node2,node3 on s1; s0--s1 trunk."""
+    g = nx.Graph()
+    names = [f"node{i}" for i in range(n_nodes)]
+    for i, n in enumerate(names):
+        g.add_edge(n, f"s{i * 2 // n_nodes}")
+    g.add_edge("s0", "s1")
+    return GraphTopology(g, names)
+
+
+class TestGraphTopologyCluster:
+    def test_cluster_accepts_custom_topology(self):
+        topo = two_switch_topology()
+        cluster = Cluster(n_nodes=4, topology=topo)
+        assert cluster.topology is topo
+
+    def test_mismatched_topology_rejected(self):
+        topo = StarTopology(["a", "b"])
+        with pytest.raises(ValueError, match="node0"):
+            Cluster(n_nodes=2, topology=topo)
+
+    def test_same_switch_vs_cross_switch_latency(self):
+        """An extra switch + link adds exactly one hop of latency."""
+        cluster = Cluster(n_nodes=4, topology=two_switch_topology())
+        same = cluster.fabric.uncontended_latency_ns("node0", "node1", 64)
+        cross = cluster.fabric.uncontended_latency_ns("node0", "node2", 64)
+        net = cluster.config.network
+        assert cross - same == net.link_latency_ns + net.switch_latency_ns
+
+    def test_gputn_put_across_switches(self):
+        """The full GPU-TN path works unchanged over multiple switches."""
+        from repro.api import GpuTnEndpoint, work_group_kernel
+
+        cluster = Cluster(n_nodes=4, topology=two_switch_topology())
+        ep = GpuTnEndpoint(cluster.node("node0"))
+        target = cluster.node("node3")
+        send = cluster.node("node0").host.alloc(128)
+        recv = target.host.alloc(128)
+
+        def driver():
+            op = yield from ep.trig_put(send, 128, "node3", recv.addr(),
+                                        tag=0x77)
+            yield from ep.launch(work_group_kernel, n_workgroups=1,
+                                 tag_base=0x77, buffers=[send], fill=0x3C)
+            delivered = yield ep.wait_delivered(op)
+            return delivered.delivered_at
+
+        t = cluster.sim.run_until_event(cluster.spawn(driver()))
+        assert (recv.view(np.uint8) == 0x3C).all()
+        assert cluster.total_hazards() == 0
+        # Must include the two-switch path latency (3 links + 2 switches).
+        assert t >= 3 * 100 + 2 * 100
+
+    def test_allreduce_on_two_switch_fabric(self):
+        """The ring Allreduce is fabric-agnostic: correct across switches."""
+        from repro.collectives.ring import run_ring_allreduce
+
+        topo = two_switch_topology()
+        cfg = default_config()
+        # run_ring_allreduce builds its own cluster; emulate by running
+        # the executors over a custom cluster instead.
+        from repro.cluster import Cluster as C
+        from repro.collectives.ring import (
+            _RingRank, _gputn_rank, allreduce_reference)
+
+        cluster = C(n_nodes=4, config=cfg, topology=topo, trace=False)
+        states = [_RingRank(cluster[r], r, 4, 64 * 1024, seed=2)
+                  for r in range(4)]
+        initial = [s.vector.view(np.float32).copy() for s in states]
+        peers = {r: cluster[r] for r in range(4)}
+        for r in range(4):
+            cluster[r].host._ring_state = states[r]
+        procs = [cluster.spawn(_gputn_rank(states[r], peers))
+                 for r in range(4)]
+        cluster.run()
+        for p in procs:
+            assert p.ok
+        expected = allreduce_reference(initial, 4)
+        for s in states:
+            assert (s.vector.view(np.float32) == expected).all()
+        del run_ring_allreduce

@@ -1,0 +1,201 @@
+"""Unit tests for the network fabric (repro.net)."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.net import Fabric, Message, StarTopology
+from repro.net.packet import MessageKind
+from repro.net.topology import GraphTopology
+from repro.sim import Simulator
+
+
+def make_fabric(n=4, **net_kwargs):
+    sim = Simulator()
+    nodes = [f"n{i}" for i in range(n)]
+    net = NetworkConfig(**net_kwargs)
+    topo = StarTopology(nodes, net.link_latency_ns, net.switch_latency_ns)
+    return sim, Fabric(sim, topo, net)
+
+
+class TestMessage:
+    def test_valid_message(self):
+        m = Message(src="a", dst="b", nbytes=64)
+        assert m.kind is MessageKind.PUT and m.msg_id > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src="a", dst="b", nbytes=-1)
+
+    def test_payload_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src="a", dst="b", nbytes=4, payload=b"toolong!")
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src="a", dst="a", nbytes=4)
+
+    def test_ids_unique(self):
+        a = Message(src="a", dst="b", nbytes=0)
+        b = Message(src="a", dst="b", nbytes=0)
+        assert a.msg_id != b.msg_id
+
+
+class TestStarTopology:
+    def test_path_latency(self):
+        topo = StarTopology(["a", "b"], link_latency_ns=100, switch_latency_ns=100)
+        assert topo.path_latency_ns("a", "b") == 300
+        assert topo.path_latency_ns("a", "a") == 0
+
+    def test_unknown_node_rejected(self):
+        topo = StarTopology(["a", "b"])
+        with pytest.raises(KeyError):
+            topo.path_latency_ns("a", "zz")
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            StarTopology(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StarTopology([])
+
+    def test_hop_count(self):
+        topo = StarTopology(["a", "b"])
+        assert topo.hop_count("a", "b") == 1
+        assert topo.hop_count("b", "b") == 0
+
+
+class TestGraphTopology:
+    def test_two_switch_path(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edges_from([("a", "s1"), ("s1", "s2"), ("s2", "b")])
+        topo = GraphTopology(g, ["a", "b"], link_latency_ns=100, switch_latency_ns=100)
+        # 3 links + 2 switches.
+        assert topo.path_latency_ns("a", "b") == 500
+        assert topo.hop_count("a", "b") == 2
+
+    def test_edge_latency_attribute(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "s", latency_ns=10)
+        g.add_edge("s", "b", latency_ns=20)
+        topo = GraphTopology(g, ["a", "b"], switch_latency_ns=5)
+        assert topo.path_latency_ns("a", "b") == 35
+
+    def test_missing_endpoint_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "s")
+        with pytest.raises(ValueError):
+            GraphTopology(g, ["a", "zzz"])
+
+
+class TestFabricLatency:
+    def test_uncontended_latency_formula(self):
+        """Table 2 numbers: 64B message = ser(64) + 2*100 + 100."""
+        sim, fabric = make_fabric()
+        ev = fabric.transmit(Message(src="n0", dst="n1", nbytes=64))
+        delivered = sim.run_until_event(ev)
+        expected = fabric.net.serialization_ns(64) + 300
+        assert delivered.delivered_at == expected
+        assert delivered.delivered_at == fabric.uncontended_latency_ns("n0", "n1", 64)
+
+    def test_zero_byte_message(self):
+        sim, fabric = make_fabric()
+        ev = fabric.transmit(Message(src="n0", dst="n1", nbytes=0))
+        assert sim.run_until_event(ev).delivered_at == 300
+
+    def test_8mb_dominated_by_serialization(self):
+        sim, fabric = make_fabric()
+        n = 8 * 1024 * 1024
+        ev = fabric.transmit(Message(src="n0", dst="n1", nbytes=n))
+        delivered = sim.run_until_event(ev)
+        # 8 MiB at 12.5 B/ns ~ 671 us >> 300 ns of latency.
+        assert delivered.delivered_at == pytest.approx(n / 12.5 + 300, rel=1e-3)
+
+    def test_rx_handler_invoked_at_delivery(self):
+        sim, fabric = make_fabric()
+        seen = []
+        fabric.register_rx("n2", lambda d: seen.append((sim.now, d.message.msg_id)))
+        msg = Message(src="n0", dst="n2", nbytes=128)
+        ev = fabric.transmit(msg)
+        sim.run()
+        assert seen == [(ev.value.delivered_at, msg.msg_id)]
+
+    def test_handler_not_called_for_other_nodes(self):
+        sim, fabric = make_fabric()
+        seen = []
+        fabric.register_rx("n3", seen.append)
+        fabric.transmit(Message(src="n0", dst="n1", nbytes=8))
+        sim.run()
+        assert seen == []
+
+
+class TestFabricContention:
+    def test_egress_serializes_same_source(self):
+        """Two back-to-back sends from one node share the egress port."""
+        sim, fabric = make_fabric()
+        n = 12500  # 1000 ns of serialization each
+        e1 = fabric.transmit(Message(src="n0", dst="n1", nbytes=n))
+        e2 = fabric.transmit(Message(src="n0", dst="n2", nbytes=n))
+        sim.run()
+        assert e1.value.delivered_at == 1000 + 300
+        assert e2.value.delivered_at == 2000 + 300
+
+    def test_ingress_serializes_same_destination(self):
+        sim, fabric = make_fabric()
+        n = 12500
+        e1 = fabric.transmit(Message(src="n0", dst="n3", nbytes=n))
+        e2 = fabric.transmit(Message(src="n1", dst="n3", nbytes=n))
+        sim.run()
+        assert e1.value.delivered_at == 1300
+        # Second message's head arrives at t=300 but the ingress port is
+        # busy until 1300.
+        assert e2.value.delivered_at == 2300
+
+    def test_disjoint_pairs_do_not_contend(self):
+        sim, fabric = make_fabric()
+        n = 12500
+        e1 = fabric.transmit(Message(src="n0", dst="n1", nbytes=n))
+        e2 = fabric.transmit(Message(src="n2", dst="n3", nbytes=n))
+        sim.run()
+        assert e1.value.delivered_at == e2.value.delivered_at == 1300
+
+    def test_in_order_delivery_same_pair(self):
+        """A big message sent first must arrive before a small one sent later."""
+        sim, fabric = make_fabric()
+        big = fabric.transmit(Message(src="n0", dst="n1", nbytes=125000))
+        small = fabric.transmit(Message(src="n0", dst="n1", nbytes=64))
+        sim.run()
+        assert big.value.delivered_at < small.value.delivered_at
+
+    def test_unknown_node_rejected(self):
+        sim, fabric = make_fabric()
+        with pytest.raises(KeyError):
+            fabric.transmit(Message(src="n0", dst="ghost", nbytes=8))
+
+    def test_stats_accumulate(self):
+        sim, fabric = make_fabric()
+        fabric.transmit(Message(src="n0", dst="n1", nbytes=10))
+        fabric.transmit(Message(src="n1", dst="n2", nbytes=20))
+        sim.run()
+        assert fabric.stats == {"messages": 2, "bytes": 30}
+
+
+class TestBandwidthInvariant:
+    def test_delivery_never_beats_line_rate(self):
+        """Property: N bytes can never arrive faster than ser(N) + path."""
+        sim, fabric = make_fabric(n=6)
+        events = []
+        sizes = [64, 1024, 4096, 65536, 1 << 20]
+        for i, s in enumerate(sizes):
+            src, dst = f"n{i % 3}", f"n{3 + i % 3}"
+            events.append((s, src, dst, fabric.transmit(
+                Message(src=src, dst=dst, nbytes=s))))
+        sim.run()
+        for s, src, dst, ev in events:
+            assert ev.value.delivered_at >= fabric.uncontended_latency_ns(src, dst, s)

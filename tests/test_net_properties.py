@@ -1,0 +1,102 @@
+"""Property-based tests of fabric invariants (DESIGN.md §6, items 6)."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.net import Fabric, Message, StarTopology
+from repro.sim import Simulator
+
+
+def build(n_nodes):
+    sim = Simulator()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    net = NetworkConfig()
+    topo = StarTopology(nodes, net.link_latency_ns, net.switch_latency_ns)
+    return sim, Fabric(sim, topo, net)
+
+
+message_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),      # src
+        st.integers(min_value=0, max_value=3),      # dst
+        st.integers(min_value=0, max_value=1 << 18),  # size
+        st.integers(min_value=0, max_value=5_000),  # inject delay
+    ),
+    min_size=1, max_size=25,
+).map(lambda plan: [(s, d if d != s else (d + 1) % 4, n, t)
+                    for s, d, n, t in plan])
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=message_plan)
+def test_property_line_rate_never_beaten(plan):
+    """No message arrives faster than serialization + path latency."""
+    sim, fabric = build(4)
+    events = []
+
+    def inject(src, dst, nbytes):
+        events.append((src, dst, nbytes, sim.now,
+                       fabric.transmit(Message(src=src, dst=dst, nbytes=nbytes))))
+
+    for s, d, n, t in plan:
+        sim.schedule(t, inject, f"n{s}", f"n{d}", n)
+    sim.run()
+    for src, dst, nbytes, sent, ev in events:
+        floor = fabric.uncontended_latency_ns(src, dst, nbytes)
+        assert ev.value.delivered_at - sent >= floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=message_plan)
+def test_property_in_order_per_pair(plan):
+    """Messages between the same (src, dst) pair arrive in send order."""
+    sim, fabric = build(4)
+    deliveries = defaultdict(list)
+
+    def inject(src, dst, nbytes, seq):
+        ev = fabric.transmit(Message(src=src, dst=dst, nbytes=nbytes,
+                                     meta={"seq": seq}))
+        ev.callbacks.append(
+            lambda e: deliveries[(src, dst)].append(
+                (e.value.message.meta["seq"], e.value.delivered_at)))
+
+    # Inject in plan order at time 0 so send order is the list order.
+    for seq, (s, d, n, _t) in enumerate(plan):
+        inject(f"n{s}", f"n{d}", n, seq)
+    sim.run()
+    for pair, arrivals in deliveries.items():
+        seqs = [seq for seq, _ in arrivals]
+        times = [t for _, t in arrivals]
+        assert seqs == sorted(seqs), f"reordering on {pair}"
+        assert times == sorted(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbytes=st.integers(min_value=0, max_value=1 << 22),
+    n_nodes=st.integers(min_value=2, max_value=8),
+)
+def test_property_latency_formula_uncontended(nbytes, n_nodes):
+    sim, fabric = build(max(n_nodes, 2))
+    ev = fabric.transmit(Message(src="n0", dst="n1", nbytes=nbytes))
+    delivered = sim.run_until_event(ev)
+    net = fabric.net
+    assert delivered.delivered_at == net.serialization_ns(nbytes) + 300
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 16),
+                      min_size=2, max_size=10))
+def test_property_total_egress_respects_bandwidth(sizes):
+    """One sender: last delivery >= total bytes / line rate."""
+    sim, fabric = build(3)
+    last = None
+    for i, n in enumerate(sizes):
+        last = fabric.transmit(Message(src="n0", dst=f"n{1 + i % 2}", nbytes=n))
+    sim.run()
+    total_ser = sum(fabric.net.serialization_ns(n) for n in sizes)
+    assert last.value.delivered_at >= total_ser

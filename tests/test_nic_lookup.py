@@ -1,0 +1,197 @@
+"""Unit tests for trigger-list lookup structures (repro.nic.lookup)."""
+
+import pytest
+
+from repro.nic import (
+    AssociativeLookup,
+    HashLookup,
+    LinkedListLookup,
+    TriggerListFull,
+    make_lookup,
+)
+from repro.nic.triggered import TriggerEntry
+
+ALL_KINDS = ["linked-list", "associative", "hash"]
+
+
+def entry(tag):
+    return TriggerEntry(tag=tag)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestCommonBehaviour:
+    def test_insert_find(self, kind):
+        lk = make_lookup(kind)
+        e = entry(7)
+        lk.insert(e)
+        assert lk.find(7) is e
+        assert lk.find(8) is None
+
+    def test_remove(self, kind):
+        lk = make_lookup(kind)
+        e = entry(3)
+        lk.insert(e)
+        lk.remove(e)
+        assert lk.find(3) is None
+        assert len(lk) == 0
+
+    def test_len_and_iter(self, kind):
+        lk = make_lookup(kind, capacity=None if kind != "associative" else 16)
+        entries = [entry(i) for i in range(5)]
+        for e in entries:
+            lk.insert(e)
+        assert len(lk) == 5
+        assert set(e.tag for e in lk) == set(range(5))
+
+    def test_cost_positive(self, kind):
+        lk = make_lookup(kind)
+        lk.insert(entry(1))
+        lk.find(1)
+        assert lk.cost_ns() > 0
+
+
+class TestLinkedList:
+    def test_cost_grows_with_position(self):
+        lk = LinkedListLookup()
+        for i in range(20):
+            lk.insert(entry(i))
+        lk.find(0)
+        early = lk.cost_ns()
+        lk.find(19)
+        late = lk.cost_ns()
+        assert late > early
+
+    def test_miss_scans_whole_list(self):
+        lk = LinkedListLookup()
+        for i in range(10):
+            lk.insert(entry(i))
+        lk.find(999)
+        assert lk.cost_ns() == lk.base_ns + 10 * lk.step_ns
+
+
+class TestAssociative:
+    def test_constant_cost(self):
+        lk = AssociativeLookup(capacity=16)
+        for i in range(16):
+            lk.insert(entry(i))
+        lk.find(0)
+        a = lk.cost_ns()
+        lk.find(15)
+        b = lk.cost_ns()
+        assert a == b
+
+    def test_capacity_enforced(self):
+        lk = AssociativeLookup(capacity=2)
+        lk.insert(entry(0))
+        lk.insert(entry(1))
+        with pytest.raises(TriggerListFull):
+            lk.insert(entry(2))
+
+    def test_duplicate_tag_rejected(self):
+        lk = AssociativeLookup(capacity=4)
+        lk.insert(entry(5))
+        with pytest.raises(ValueError):
+            lk.insert(entry(5))
+
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            AssociativeLookup(capacity=None)
+
+
+class TestHash:
+    def test_many_entries_cheap(self):
+        lk = HashLookup(n_buckets=64)
+        for i in range(256):
+            lk.insert(entry(i))
+        lk.find(200)
+        # Expected chain length 4; far below a 256-long list walk.
+        assert lk.cost_ns() < LinkedListLookup.base_ns + 100 * LinkedListLookup.step_ns
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            HashLookup(n_buckets=0)
+
+
+class TestCachedLookup:
+    """Section 3.3's main-memory trigger list with a NIC-resident cache."""
+
+    def _cached(self, cache_entries=2):
+        from repro.nic import CachedLookup, HashLookup
+
+        return CachedLookup(HashLookup(), cache_entries=cache_entries)
+
+    def test_first_touch_misses_then_hits(self):
+        lk = self._cached()
+        e = entry(1)
+        lk.insert(e)          # insert warms the cache
+        lk.find(1)
+        assert lk.stats == {"hits": 1, "misses": 0}
+        hot = lk.cost_ns()
+        # Evict by touching two other tags.
+        lk.insert(entry(2))
+        lk.insert(entry(3))
+        lk.find(1)
+        assert lk.stats["misses"] == 1
+        assert lk.cost_ns() == hot + lk.miss_ns
+
+    def test_lru_keeps_hot_tags(self):
+        lk = self._cached(cache_entries=2)
+        for t in (1, 2, 3):
+            lk.insert(entry(t))
+        lk.find(2)  # miss (evicted by 3's insert? order: cache holds 2,3)
+        lk.find(2)  # now certainly hot
+        assert lk.cost_ns() < lk.miss_ns
+
+    def test_misses_do_not_apply_to_absent_tags(self):
+        lk = self._cached()
+        lk.find(99)
+        assert lk.stats == {"hits": 0, "misses": 0}
+
+    def test_remove_evicts(self):
+        lk = self._cached()
+        e = entry(5)
+        lk.insert(e)
+        lk.remove(e)
+        assert lk.find(5) is None
+        assert len(lk) == 0
+
+    def test_factory_spelling(self):
+        from repro.nic import CachedLookup, make_lookup
+
+        lk = make_lookup("cached:hash", capacity=8)
+        assert isinstance(lk, CachedLookup)
+        assert lk.cache_entries == 8
+
+    def test_bad_cache_size_rejected(self):
+        from repro.nic import CachedLookup, HashLookup
+
+        with pytest.raises(ValueError):
+            CachedLookup(HashLookup(), cache_entries=0)
+
+    def test_nic_runs_with_cached_lookup(self):
+        from repro.config import NicConfig, default_config
+
+        from conftest import build_nic_testbed
+
+        cfg = default_config().with_(
+            nic=NicConfig(trigger_lookup="cached:hash"))
+        tb = build_nic_testbed(config=cfg)
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        nic = tb.nics["n0"]
+        e = nic.register_triggered_put(tag=1, threshold=1,
+                                       local_addr=src.addr(), nbytes=8,
+                                       target="n1", remote_addr=dst.addr())
+        nic.mmio_write(nic.trigger_address, 1)
+        tb.sim.run_until_event(nic.handle_for(e).delivered)
+
+
+def test_factory_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown trigger lookup"):
+        make_lookup("btree")
+
+
+def test_factory_kinds():
+    assert isinstance(make_lookup("linked-list"), LinkedListLookup)
+    assert isinstance(make_lookup("associative"), AssociativeLookup)
+    assert isinstance(make_lookup("hash"), HashLookup)

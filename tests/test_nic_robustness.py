@@ -1,0 +1,126 @@
+"""Failure-injection and robustness tests for the NIC device."""
+
+import numpy as np
+import pytest
+
+from repro.config import NicConfig, default_config
+from repro.memory import Agent
+
+from conftest import build_nic_testbed
+
+
+class TestTriggerFifoOverflow:
+    def test_overflow_surfaces_loudly(self):
+        cfg = default_config().with_(nic=NicConfig(trigger_fifo_depth=4))
+        tb = build_nic_testbed(config=cfg)
+        nic = tb.nics["n0"]
+        # A burst far beyond the FIFO depth, all landing at once while
+        # the pump can only drain one per lookup interval.
+        for i in range(64):
+            nic.mmio_write(nic.trigger_address, i)
+        with pytest.raises(RuntimeError, match="FIFO overflow"):
+            tb.sim.run()
+
+    def test_deep_fifo_absorbs_bursts(self):
+        """Paper §3.3: the NIC must absorb 'triggers from potentially
+        thousands of GPU threads in quick succession'."""
+        tb = build_nic_testbed()
+        nic = tb.nics["n0"]
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        nic.register_triggered_put(tag=0, threshold=2000,
+                                   local_addr=src.addr(), nbytes=8,
+                                   target="n1", remote_addr=dst.addr())
+        for _ in range(2000):
+            nic.mmio_write(nic.trigger_address, 0)
+        tb.sim.run()
+        entry = nic.trigger_list.fired_log[0]
+        assert entry.counter == 2000 and entry.fired
+
+
+class TestDmaErrorPaths:
+    def test_unregistered_remote_address_fails(self, nic_testbed):
+        tb = nic_testbed
+        src = tb.alloc_registered("n0", 64)
+        bad_dst = tb.spaces["n1"].alloc(64)  # never registered
+        tb.nics["n0"].post_put(src.addr(), 64, "n1", bad_dst.addr())
+        with pytest.raises(Exception, match="unregistered"):
+            tb.sim.run()
+
+    def test_unmapped_remote_address_fails(self, nic_testbed):
+        tb = nic_testbed
+        src = tb.alloc_registered("n0", 64)
+        tb.nics["n0"].post_put(src.addr(), 64, "n1", 0xDEAD_BEEF)
+        with pytest.raises(IndexError):
+            tb.sim.run()
+
+    def test_oversized_put_from_small_buffer_fails(self, nic_testbed):
+        tb = nic_testbed
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 4096)
+        tb.nics["n0"].post_put(src.addr(), 4096, "n1", dst.addr())
+        with pytest.raises(IndexError):
+            tb.sim.run()
+
+
+class TestZeroByteOperations:
+    def test_zero_byte_put_completes(self, nic_testbed):
+        """Zero-byte puts are legal RDMA (pure synchronization)."""
+        tb = nic_testbed
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        flag = tb.alloc_registered("n1", 4)
+        tb.nics["n1"].expose_rx_flag(9, (flag, 0))
+        h = tb.nics["n0"].post_put(src.addr(), 0, "n1", dst.addr(), wire_tag=9)
+        tb.sim.run_until_event(h.delivered)
+        tb.sim.run()
+        assert flag.view(np.uint32)[0] == 1
+        assert (dst.view(np.uint8) == 0).all()  # untouched
+
+
+class TestManyConcurrentFlows:
+    def test_all_to_all_burst(self):
+        """Every node puts to every other node simultaneously; all
+        payloads land intact (stress of port contention + rx dispatch)."""
+        tb = build_nic_testbed(n_nodes=5)
+        handles = []
+        bufs = {}
+        for i, src_name in enumerate(tb.nodes):
+            for j, dst_name in enumerate(tb.nodes):
+                if i == j:
+                    continue
+                src = tb.alloc_registered(src_name, 256)
+                dst = tb.alloc_registered(dst_name, 256)
+                src.view(np.uint8)[:] = 16 * i + j
+                tb.mems[src_name].record_write(0, Agent.CPU, src)
+                h = tb.nics[src_name].post_put(src.addr(), 256, dst_name,
+                                               dst.addr())
+                handles.append(h)
+                bufs[(i, j)] = dst
+        tb.sim.run()
+        assert all(h.delivered.triggered for h in handles)
+        for (i, j), dst in bufs.items():
+            assert (dst.view(np.uint8) == 16 * i + j).all()
+
+    def test_interleaved_triggered_and_immediate(self, nic_testbed):
+        """Triggered and immediate operations share the NIC cleanly."""
+        tb = nic_testbed
+        nic = tb.nics["n0"]
+        outcomes = []
+        for k in range(6):
+            src = tb.alloc_registered("n0", 16)
+            dst = tb.alloc_registered("n1", 16)
+            src.view(np.uint8)[:] = k + 1
+            if k % 2 == 0:
+                entry = nic.register_triggered_put(
+                    tag=k, threshold=1, local_addr=src.addr(), nbytes=16,
+                    target="n1", remote_addr=dst.addr())
+                nic.mmio_write(nic.trigger_address, k)
+                outcomes.append((nic.handle_for(entry), dst, k + 1))
+            else:
+                h = nic.post_put(src.addr(), 16, "n1", dst.addr())
+                outcomes.append((h, dst, k + 1))
+        tb.sim.run()
+        for h, dst, expect in outcomes:
+            assert h.delivered.triggered
+            assert (dst.view(np.uint8) == expect).all()

@@ -1,0 +1,147 @@
+"""Tests for the Portals-4-flavored API layer (repro.nic.portals)."""
+
+import numpy as np
+import pytest
+
+from repro.nic.portals import (
+    Counter,
+    MemoryDescriptor,
+    gputn_triggered_put,
+    ptl_get,
+    ptl_put,
+    ptl_triggered_put,
+)
+
+from conftest import build_nic_testbed
+
+
+class TestCounter:
+    def test_threshold_callback_fires_on_cross(self):
+        tb = build_nic_testbed()
+        ct = Counter(tb.nics["n0"])
+        hits = []
+        ct.on_threshold(3, lambda: hits.append(ct.count))
+        ct.increment(2)
+        assert hits == []
+        ct.increment()
+        assert hits == [3]
+
+    def test_already_met_fires_immediately(self):
+        tb = build_nic_testbed()
+        ct = Counter(tb.nics["n0"])
+        ct.increment(5)
+        hits = []
+        ct.on_threshold(4, lambda: hits.append(True))
+        assert hits == [True]
+
+    def test_wait_event(self):
+        tb = build_nic_testbed()
+        ct = Counter(tb.nics["n0"])
+        ev = ct.wait(2)
+        tb.sim.schedule(10, ct.increment)
+        tb.sim.schedule(20, ct.increment)
+        assert tb.sim.run_until_event(ev) == 2
+
+    def test_bad_increment_rejected(self):
+        tb = build_nic_testbed()
+        with pytest.raises(ValueError):
+            Counter(tb.nics["n0"]).increment(0)
+
+
+class TestMemoryDescriptor:
+    def test_defaults_to_whole_buffer(self):
+        tb = build_nic_testbed()
+        buf = tb.alloc_registered("n0", 256)
+        md = MemoryDescriptor(buf)
+        assert md.length == 256 and md.addr == buf.addr()
+
+    def test_window(self):
+        tb = build_nic_testbed()
+        buf = tb.alloc_registered("n0", 256)
+        md = MemoryDescriptor(buf, offset=64, length=128)
+        assert md.addr == buf.addr(64)
+
+    def test_out_of_bounds_rejected(self):
+        tb = build_nic_testbed()
+        buf = tb.alloc_registered("n0", 64)
+        with pytest.raises(ValueError, match="outside"):
+            MemoryDescriptor(buf, offset=32, length=64)
+
+    def test_unregistered_buffer_rejected(self):
+        tb = build_nic_testbed()
+        buf = tb.spaces["n0"].alloc(64)
+        with pytest.raises(ValueError, match="registered"):
+            MemoryDescriptor(buf)
+
+
+class TestPuts:
+    def test_ptl_put_moves_data_and_bumps_ct(self):
+        tb = build_nic_testbed()
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        src.view(np.uint8)[:] = 0x5A
+        ct = Counter(tb.nics["n0"])
+        md = MemoryDescriptor(src, ct=ct)
+        h = ptl_put(tb.nics["n0"], md, "n1", dst.addr())
+        tb.sim.run_until_event(h.delivered)
+        tb.sim.run()
+        assert (dst.view(np.uint8) == 0x5A).all()
+        assert ct.count == 1
+
+    def test_ptl_get(self):
+        tb = build_nic_testbed()
+        local = tb.alloc_registered("n0", 64)
+        remote = tb.alloc_registered("n1", 64)
+        remote.view(np.uint8)[:] = 0x33
+        md = MemoryDescriptor(local)
+        h = ptl_get(tb.nics["n0"], md, "n1", remote.addr())
+        tb.sim.run_until_event(h.complete)
+        assert (local.view(np.uint8) == 0x33).all()
+
+    def test_classic_triggered_put_chains_on_counter(self):
+        """PtlTriggeredPut: op fires when another op's completion counter
+        reaches the threshold (collective chaining, Section 6)."""
+        tb = build_nic_testbed()
+        a = tb.alloc_registered("n0", 64)
+        b = tb.alloc_registered("n0", 64)
+        dst_a = tb.alloc_registered("n1", 64)
+        dst_b = tb.alloc_registered("n1", 64)
+        ct = Counter(tb.nics["n0"])
+        md_a = MemoryDescriptor(a, ct=ct)
+        md_b = MemoryDescriptor(b)
+        # b's put fires only after a's put completes locally.
+        h_b = ptl_triggered_put(tb.nics["n0"], md_b, "n1", dst_b.addr(),
+                                trig_ct=ct, threshold=1)
+        h_a = ptl_put(tb.nics["n0"], md_a, "n1", dst_a.addr())
+        tb.sim.run()
+        assert h_a.delivered.triggered and h_b.delivered.triggered
+        assert (h_b.delivered.value.delivered_at
+                > h_a.delivered.value.delivered_at)
+
+    def test_gputn_triggered_put_fires_on_mmio(self):
+        tb = build_nic_testbed()
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        src.view(np.uint8)[:] = 0x21
+        nic = tb.nics["n0"]
+        entry = gputn_triggered_put(nic, MemoryDescriptor(src), "n1",
+                                    dst.addr(), tag=77, threshold=2)
+        nic.mmio_write(nic.trigger_address, 77)
+        tb.sim.run()
+        assert not entry.fired
+        nic.mmio_write(nic.trigger_address, 77)
+        tb.sim.run()
+        assert entry.fired
+        assert (dst.view(np.uint8) == 0x21).all()
+
+    def test_gputn_triggered_put_ct_increment(self):
+        tb = build_nic_testbed()
+        src = tb.alloc_registered("n0", 64)
+        dst = tb.alloc_registered("n1", 64)
+        ct = Counter(tb.nics["n0"])
+        nic = tb.nics["n0"]
+        gputn_triggered_put(nic, MemoryDescriptor(src, ct=ct), "n1",
+                            dst.addr(), tag=5)
+        nic.mmio_write(nic.trigger_address, 5)
+        tb.sim.run()
+        assert ct.count == 1

@@ -1,0 +1,134 @@
+"""Tests for the OpenSHMEM-flavored layer (repro.api.shmem)."""
+
+import numpy as np
+import pytest
+
+from repro.api.shmem import ShmemContext, shmem_barrier_all
+from repro.cluster import Cluster
+
+
+def make_job(n=3):
+    cluster = Cluster(n_nodes=n)
+    return cluster, [ShmemContext(cluster, pe) for pe in range(n)]
+
+
+class TestSymmetricAlloc:
+    def test_every_pe_gets_a_buffer(self):
+        cluster, ctxs = make_job(4)
+        symm = ShmemContext.symmetric_alloc(cluster, 128)
+        assert symm.nbytes == 128
+        assert len({symm.on(pe).space for pe in range(4)}) == 4
+
+    def test_unknown_pe_rejected(self):
+        cluster, _ = make_job(2)
+        symm = ShmemContext.symmetric_alloc(cluster, 8)
+        with pytest.raises(KeyError, match="PE 9"):
+            symm.on(9)
+
+
+class TestPutGet:
+    def test_put_then_quiet_moves_data(self):
+        cluster, ctxs = make_job(2)
+        symm = ShmemContext.symmetric_alloc(cluster, 64)
+
+        def pe0():
+            yield from ctxs[0].put(symm, np.full(64, 5, np.uint8), target_pe=1)
+            yield from ctxs[0].quiet()
+
+        p = cluster.spawn(pe0())
+        cluster.run()
+        assert p.ok
+        assert (symm.view(1) == 5).all()
+
+    def test_local_put_is_a_copy(self):
+        cluster, ctxs = make_job(2)
+        symm = ShmemContext.symmetric_alloc(cluster, 16)
+
+        def pe0():
+            yield from ctxs[0].put(symm, np.arange(16, dtype=np.uint8),
+                                   target_pe=0)
+
+        cluster.sim.run_until_event(cluster.spawn(pe0()))
+        assert (symm.view(0) == np.arange(16, dtype=np.uint8)).all()
+
+    def test_get_fetches_remote(self):
+        cluster, ctxs = make_job(2)
+        symm = ShmemContext.symmetric_alloc(cluster, 32)
+        symm.view(1)[:] = 0x2F
+        from repro.memory import Agent
+
+        cluster[1].mem.record_write(0, Agent.CPU, symm.on(1))
+
+        def pe0():
+            data = yield from ctxs[0].get(symm, 32, source_pe=1)
+            return data.copy()
+
+        data = cluster.sim.run_until_event(cluster.spawn(pe0()))
+        assert (data == 0x2F).all()
+
+    def test_get_local(self):
+        cluster, ctxs = make_job(2)
+        symm = ShmemContext.symmetric_alloc(cluster, 8)
+        symm.view(0)[:] = 3
+
+        def pe0():
+            data = yield from ctxs[0].get(symm, 8, source_pe=0)
+            return data
+
+        assert (cluster.sim.run_until_event(cluster.spawn(pe0())) == 3).all()
+
+    def test_put_signal_and_wait_until(self):
+        """The PGAS notification pattern of paper §4.2.5."""
+        cluster, ctxs = make_job(2)
+        data_buf = ShmemContext.symmetric_alloc(cluster, 64, "data")
+        flag_buf = ShmemContext.symmetric_alloc(cluster, 4, "flag")
+
+        def producer():
+            yield cluster.sim.timeout(5_000)
+            yield from ctxs[0].put_signal(data_buf, np.full(64, 9, np.uint8),
+                                          flag_buf, target_pe=1)
+
+        def consumer():
+            yield from ctxs[1].wait_until(flag_buf, at_least=1)
+            # Data must already be there (in-order delivery on one path).
+            assert (data_buf.view(1) == 9).all()
+            return cluster.sim.now
+
+        cluster.spawn(producer())
+        p = cluster.spawn(consumer())
+        t = cluster.sim.run_until_event(p)
+        assert t > 5_000
+
+
+class TestQuiet:
+    def test_quiet_with_no_pending_is_instant(self):
+        cluster, ctxs = make_job(2)
+
+        def pe0():
+            yield from ctxs[0].quiet()
+            return cluster.sim.now
+
+        assert cluster.sim.run_until_event(cluster.spawn(pe0())) == 0
+
+    def test_quiet_waits_for_all_puts(self):
+        cluster, ctxs = make_job(3)
+        symm = ShmemContext.symmetric_alloc(cluster, 1 << 16)
+
+        def pe0():
+            for target in (1, 2):
+                yield from ctxs[0].put(symm, np.zeros(1 << 16, np.uint8),
+                                       target_pe=target)
+            t_before = cluster.sim.now
+            yield from ctxs[0].quiet()
+            return t_before, cluster.sim.now
+
+        before, after = cluster.sim.run_until_event(cluster.spawn(pe0()))
+        assert after > before  # 64 KB x2 takes real serialization time
+
+
+class TestBarrierAll:
+    def test_all_pes_released(self):
+        cluster, _ = make_job(4)
+        released = shmem_barrier_all(cluster)
+        cluster.run()
+        assert all(ev.triggered for ev in released.values())

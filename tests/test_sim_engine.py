@@ -1,0 +1,210 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_run_empty_heap_returns_now(self):
+        sim = Simulator()
+        assert sim.run() == 0
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(123)
+        sim.run()
+        assert sim.now == 123
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(100))
+        sim.schedule(300, lambda: fired.append(300))
+        sim.run(until=200)
+        assert fired == [100]
+        assert sim.now == 200
+
+    def test_run_until_inclusive_of_exact_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(200, lambda: fired.append(200))
+        sim.run(until=200)
+        assert fired == [200]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        for t in (50, 10, 30, 20, 40):
+            sim.schedule(t, order.append, t)
+        sim.run()
+        assert order == [10, 20, 30, 40, 50]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(100, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_priority_beats_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(100, order.append, "normal")
+        sim.schedule(100, order.append, "urgent", priority=0)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(Simulator(), -5)
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("payload")
+        sim.run()
+        assert ev.processed and ev.ok
+        assert ev.value == "payload"
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_of_untriggered_event_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_delayed_succeed(self):
+        sim = Simulator()
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(sim.now))
+        ev.succeed(delay=250)
+        sim.run()
+        assert seen == [250]
+
+    def test_run_until_event_returns_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42, delay=10)
+        assert sim.run_until_event(ev) == 42
+
+    def test_run_until_event_raises_on_failure(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"), delay=5)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_until_event(ev)
+
+    def test_run_until_event_detects_starvation(self):
+        sim = Simulator()
+        ev = sim.event()  # never triggered
+        with pytest.raises(SimulationError, match="ended before"):
+            sim.run_until_event(ev)
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+        a, b = sim.timeout(10, "a"), sim.timeout(30, "b")
+        cond = AllOf(sim, [a, b])
+        sim.run_until_event(cond)
+        assert sim.now == 30
+        assert cond.value == {a: "a", b: "b"}
+
+    def test_anyof_fires_on_first(self):
+        sim = Simulator()
+        a, b = sim.timeout(10, "a"), sim.timeout(30, "b")
+        cond = AnyOf(sim, [a, b])
+        sim.run_until_event(cond)
+        assert sim.now == 10
+        assert a in cond.value
+
+    def test_allof_empty_fires_immediately(self):
+        sim = Simulator()
+        cond = AllOf(sim, [])
+        sim.run()
+        assert cond.processed
+
+    def test_allof_propagates_failure(self):
+        sim = Simulator()
+        good = sim.timeout(10)
+        bad = sim.event()
+        bad.fail(RuntimeError("child failed"), delay=5)
+        cond = AllOf(sim, [good, bad])
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run_until_event(cond)
+
+    def test_condition_rejects_foreign_events(self):
+        sim1, sim2 = Simulator(), Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim1, [sim1.timeout(1), sim2.timeout(1)])
+
+    def test_allof_with_already_processed_children(self):
+        sim = Simulator()
+        a = sim.timeout(5, "a")
+        sim.run()
+        cond = AllOf(sim, [a])
+        sim.run()
+        assert cond.processed and cond.value[a] == "a"
+
+
+class TestStep:
+    def test_step_empty_heap_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_peek_returns_next_time(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.timeout(77)
+        assert sim.peek() == 77
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        err = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                err.append(e)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert len(err) == 1

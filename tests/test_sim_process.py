@@ -1,0 +1,240 @@
+"""Unit tests for generator-coroutine processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Process, ProcessKilled, SimulationError, Simulator
+
+
+def test_simple_process_runs_and_returns():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10)
+        yield sim.timeout(20)
+        return "done"
+
+    p = sim.spawn(proc(sim))
+    assert sim.run_until_event(p) == "done"
+    assert sim.now == 30
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="generator"):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.spawn(worker(sim, "a", 10))
+    sim.spawn(worker(sim, "b", 15))
+    sim.run()
+    # At t=30 both fire; "b" scheduled its timeout first (at t=15, vs "a"
+    # at t=20) so FIFO tie-break puts it first.
+    assert log == [(10, "a"), (15, "b"), (20, "a"), (30, "b"), (30, "a"), (45, "b")]
+
+
+def test_join_on_child_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(25)
+        return 99
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        return value + 1
+
+    p = sim.spawn(parent(sim))
+    assert sim.run_until_event(p) == 100
+
+
+def test_yield_on_already_finished_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        return "early"
+
+    def parent(sim, ch):
+        yield sim.timeout(50)  # child long done by now
+        value = yield ch
+        return value
+
+    ch = sim.spawn(child(sim))
+    p = sim.spawn(parent(sim, ch))
+    assert sim.run_until_event(p) == "early"
+    assert sim.now == 50
+
+
+def test_exception_in_process_fails_its_event():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(5)
+        raise ValueError("kernel fault")
+
+    p = sim.spawn(bad(sim))
+    with pytest.raises(ValueError, match="kernel fault"):
+        sim.run_until_event(p)
+
+
+def test_exception_propagates_to_joining_parent():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(5)
+        raise ValueError("child fault")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except ValueError:
+            return "handled"
+        return "not handled"
+
+    p = sim.spawn(parent(sim))
+    assert sim.run_until_event(p) == "handled"
+
+
+def test_failed_event_throws_into_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as e:
+            return f"caught {e}"
+
+    p = sim.spawn(waiter(sim))
+    ev.fail(RuntimeError("nic error"), delay=3)
+    assert sim.run_until_event(p) == "caught nic error"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+            return "slept"
+
+        p = sim.spawn(sleeper(sim))
+        sim.schedule(40, p.interrupt, "teardown")
+        assert sim.run_until_event(p) == ("interrupted", "teardown", 40)
+
+    def test_interrupted_process_can_rewait(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            nap = sim.timeout(100)
+            try:
+                yield nap
+            except Interrupt:
+                pass
+            yield nap  # original timeout still pending / may be processed
+            return sim.now
+
+        p = sim.spawn(sleeper(sim))
+        sim.schedule(10, p.interrupt)
+        assert sim.run_until_event(p) == 100
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.spawn(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestKill:
+    def test_kill_stops_process(self):
+        sim = Simulator()
+        progressed = []
+
+        def runner(sim):
+            while True:
+                yield sim.timeout(10)
+                progressed.append(sim.now)
+
+        p = sim.spawn(runner(sim))
+        sim.schedule(35, p.kill)
+        sim.run()
+        assert progressed == [10, 20, 30]
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, ProcessKilled)
+
+    def test_kill_is_idempotent(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.spawn(quick(sim))
+        sim.run()
+        p.kill()  # no-op on finished process
+        assert p.ok
+
+    def test_process_can_catch_kill_and_cleanup(self):
+        sim = Simulator()
+        cleaned = []
+
+        def careful(sim):
+            try:
+                yield sim.timeout(100)
+            except ProcessKilled:
+                cleaned.append(sim.now)
+                raise
+
+        p = sim.spawn(careful(sim))
+        sim.schedule(5, p.kill)
+        sim.run()
+        assert cleaned == [5]
+
+
+def test_process_yielding_non_event_errors():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42  # type: ignore[misc]
+
+    p = sim.spawn(bad(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run_until_event(p)
+
+
+def test_zero_delay_chain_is_fifo_with_other_work():
+    """A process resuming through an already-processed event must not jump
+    ahead of same-time callbacks that were scheduled earlier."""
+    sim = Simulator()
+    order = []
+
+    def proc(sim, done):
+        yield done  # already processed when we get here
+        order.append("proc")
+
+    done = sim.timeout(10)
+
+    def at_10():
+        order.append("callback")
+        sim.spawn(proc(sim, done))
+
+    sim.schedule(10, at_10)
+    sim.schedule(10, order.append, "second-callback")
+    sim.run()
+    assert order == ["callback", "second-callback", "proc"]

@@ -1,0 +1,208 @@
+"""Unit tests for stores, resources and containers (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Container, Resource, SimulationError, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer(sim):
+            yield sim.timeout(10)
+            yield store.put("msg")
+
+        def consumer(sim):
+            item = yield store.get()
+            return (sim.now, item)
+
+        sim.spawn(producer(sim))
+        c = sim.spawn(consumer(sim))
+        assert sim.run_until_event(c) == (10, "msg")
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer(sim):
+            item = yield store.get()
+            return sim.now, item
+
+        c = sim.spawn(consumer(sim))
+        sim.schedule(500, store.try_put, "late")
+        assert sim.run_until_event(c) == (500, "late")
+
+    def test_fifo_ordering_of_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.try_put(i)
+        got = []
+
+        def consumer(sim):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_ordering_of_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        served = []
+
+        def consumer(sim, name):
+            item = yield store.get()
+            served.append((name, item))
+
+        sim.spawn(consumer(sim, "first"))
+        sim.spawn(consumer(sim, "second"))
+        sim.schedule(10, store.try_put, "a")
+        sim.schedule(20, store.try_put, "b")
+        sim.run()
+        assert served == [("first", "a"), ("second", "b")]
+
+    def test_bounded_store_blocks_putter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer(sim):
+            yield store.put("one")
+            timeline.append(("put-one", sim.now))
+            yield store.put("two")
+            timeline.append(("put-two", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(100)
+            item = yield store.get()
+            timeline.append(("got", item, sim.now))
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert ("put-one", 0) in timeline
+        assert ("got", "one", 100) in timeline
+        assert ("put-two", 100) in timeline
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.try_put(1) and store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.try_put("x")
+        assert store.try_get() == (True, "x")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(sim, i):
+            yield res.acquire()
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(10)
+            active.remove(i)
+            res.release()
+
+        for i in range(5):
+            sim.spawn(worker(sim, i))
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == 30  # 5 jobs, 2-wide, 10 ns each
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def worker(sim, i):
+            yield res.acquire()
+            grants.append(i)
+            yield sim.timeout(1)
+            res.release()
+
+        for i in range(4):
+            sim.spawn(worker(sim, i))
+        sim.run()
+        assert grants == [0, 1, 2, 3]
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_available_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=3)
+        res.acquire()
+        sim.run()
+        assert res.available == 2
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        sim = Simulator()
+        tank = Container(sim, init=0)
+        done = []
+
+        def consumer(sim):
+            yield tank.get(10)
+            done.append(sim.now)
+
+        sim.spawn(consumer(sim))
+        sim.schedule(5, tank.put, 4)
+        sim.schedule(9, tank.put, 6)
+        sim.run()
+        assert done == [9]
+        assert tank.level == 0
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        tank = Container(sim, init=8, capacity=10)
+        done = []
+
+        def producer(sim):
+            yield tank.put(5)
+            done.append(sim.now)
+
+        sim.spawn(producer(sim))
+        sim.schedule(30, lambda: sim.spawn(_drain(sim, tank, 5)))
+        sim.run()
+        assert done == [30]
+
+    def test_invalid_amounts_rejected(self):
+        sim = Simulator()
+        tank = Container(sim, init=1)
+        with pytest.raises(SimulationError):
+            tank.get(0)
+        with pytest.raises(SimulationError):
+            tank.put(-1)
+
+    def test_initial_level_validation(self):
+        with pytest.raises(SimulationError):
+            Container(Simulator(), init=-1)
+        with pytest.raises(SimulationError):
+            Container(Simulator(), init=5, capacity=4)
+
+
+def _drain(sim, tank, amount):
+    yield tank.get(amount)

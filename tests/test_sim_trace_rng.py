@@ -1,0 +1,105 @@
+"""Unit tests for tracing and random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams, Tracer
+
+
+class TestTracer:
+    def test_point_events_recorded(self):
+        tr = Tracer()
+        tr.point(10, "node0", "gpu", "trigger", tag=3)
+        tr.point(20, "node1", "nic", "deliver")
+        assert len(tr.events) == 2
+        assert tr.events[0].detail == {"tag": 3}
+
+    def test_span_duration(self):
+        tr = Tracer()
+        tr.begin(100, "node0", "gpu", "kernel")
+        span = tr.end(600, "node0", "gpu", "kernel")
+        assert span.duration == 500
+
+    def test_nested_spans_lifo(self):
+        tr = Tracer()
+        tr.begin(0, "n", "a", "outer")
+        tr.begin(10, "n", "a", "outer")
+        inner = tr.end(20, "n", "a", "outer")
+        outer = tr.end(30, "n", "a", "outer")
+        assert inner.start == 10 and outer.start == 0
+
+    def test_end_without_begin_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.end(5, "n", "a", "phase")
+
+    def test_filters(self):
+        tr = Tracer()
+        tr.point(1, "n0", "cpu", "send")
+        tr.point(2, "n1", "cpu", "send")
+        tr.point(3, "n0", "gpu", "trigger")
+        assert len(tr.events_for(node="n0")) == 2
+        assert len(tr.events_for(actor="cpu")) == 2
+        assert len(tr.events_for(node="n0", phase="send")) == 1
+
+    def test_first_last(self):
+        tr = Tracer()
+        tr.point(5, "n0", "nic", "deliver")
+        tr.point(9, "n0", "nic", "deliver")
+        assert tr.first("deliver").time == 5
+        assert tr.last("deliver").time == 9
+        assert tr.first("missing") is None
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.point(1, "n", "a", "p")
+        tr.begin(1, "n", "a", "p")
+        assert tr.end(2, "n", "a", "p") is None
+        assert not tr.events and not tr.spans
+
+    def test_open_spans_reported(self):
+        tr = Tracer()
+        tr.begin(0, "n", "a", "stuck")
+        assert len(tr.open_spans()) == 1
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.point(1, "n", "a", "p")
+        tr.clear()
+        assert not tr.events
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        rs = RandomStreams(1)
+        assert rs.stream("a") is rs.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(42).stream("workload").integers(0, 1 << 30, 10)
+        b = RandomStreams(42).stream("workload").integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_streams_independent_of_creation_order(self):
+        rs1 = RandomStreams(7)
+        rs1.stream("x")
+        seq_y_after = rs1.stream("y").integers(0, 1 << 30, 5)
+        rs2 = RandomStreams(7)
+        seq_y_first = rs2.stream("y").integers(0, 1 << 30, 5)
+        assert (seq_y_after == seq_y_first).all()
+
+    def test_different_names_differ(self):
+        rs = RandomStreams(7)
+        a = rs.stream("a").integers(0, 1 << 30, 20)
+        b = rs.stream("b").integers(0, 1 << 30, 20)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("s").integers(0, 1 << 30, 20)
+        b = RandomStreams(2).stream("s").integers(0, 1 << 30, 20)
+        assert (a != b).any()
+
+    def test_reset_restarts_streams(self):
+        rs = RandomStreams(3)
+        first = rs.stream("s").integers(0, 1 << 30, 5)
+        rs.reset()
+        again = rs.stream("s").integers(0, 1 << 30, 5)
+        assert (first == again).all()

@@ -1,0 +1,46 @@
+"""Tests for the message-size sweep (repro.apps.size_sweep)."""
+
+import pytest
+
+from repro.apps.size_sweep import SweepPoint, size_sweep, sweep_all
+from repro.config import KB, MB, default_config
+
+
+@pytest.fixture(scope="module")
+def gputn_points():
+    return size_sweep(default_config(), "gputn",
+                      sizes=(64, 16 * KB, 1 * MB, 8 * MB))
+
+
+class TestShape:
+    def test_latency_monotone_in_size(self, gputn_points):
+        lats = [p.latency_ns for p in gputn_points]
+        assert lats == sorted(lats)
+
+    def test_bandwidth_grows_then_saturates(self, gputn_points):
+        bws = [p.bandwidth_gbps for p in gputn_points]
+        assert bws == sorted(bws)
+        # At 8 MB the wire dominates; the one-shot ping cannot hide the
+        # payload fill under the transfer, so ~84% of line rate is the
+        # ceiling (ser + fill serialized).
+        assert bws[-1] > 75.0
+        assert bws[-1] <= 100.0
+
+    def test_small_messages_are_overhead_bound(self, gputn_points):
+        # 64 B at 100 Gbps would be 5 ns; overheads dominate by >100x.
+        assert gputn_points[0].latency_ns > 500
+
+    def test_point_math(self):
+        p = SweepPoint.from_run(1250, 1000)
+        assert p.bandwidth_gbps == pytest.approx(10.0)
+
+
+class TestCrossStrategy:
+    def test_gputn_leads_at_small_sizes_converges_at_large(self):
+        data = sweep_all(default_config(), sizes=(64, 8 * MB))
+        small = {s: pts[0].latency_ns for s, pts in data.items()}
+        large = {s: pts[1].latency_ns for s, pts in data.items()}
+        assert small["gputn"] < small["gds"] < small["hdn"]
+        # At 8 MB, wire time dominates: strategies within 1%.
+        spread = (max(large.values()) - min(large.values())) / min(large.values())
+        assert spread < 0.01

@@ -1,0 +1,85 @@
+"""Tests for the strategy taxonomy and point-to-point flows."""
+
+import pytest
+
+from repro.strategies import (
+    EVALUATED_STRATEGIES,
+    STRATEGIES,
+    get_flow,
+    strategy_info,
+)
+
+
+class TestTable1Metadata:
+    """The registry must reproduce paper Table 1 exactly."""
+
+    def test_row_count_matches_paper(self):
+        # 5 taxonomy rows + the CPU sanity baseline.
+        assert len(STRATEGIES) == 6
+
+    def test_hdn_row(self):
+        info = strategy_info("hdn")
+        assert not info.gpu_triggered and not info.intra_kernel
+        assert info.gpu_overhead == "Kernel Boundary"
+        assert info.cpu_overhead == "Network Stack"
+
+    def test_gpu_native_row(self):
+        info = strategy_info("gpu-native")
+        assert info.gpu_triggered and info.intra_kernel
+        assert info.gpu_overhead == "Network Stack"
+        assert info.cpu_overhead == "NA"
+        assert not info.evaluated
+
+    def test_gpu_host_row(self):
+        info = strategy_info("gpu-host")
+        assert not info.gpu_triggered and info.intra_kernel
+        assert info.cpu_overhead == "Service Threads, Network Stack"
+
+    def test_gds_row(self):
+        info = strategy_info("gds")
+        assert info.gpu_triggered and not info.intra_kernel
+        assert info.gpu_overhead == "Kernel Boundary, Trigger"
+
+    def test_gputn_row(self):
+        info = strategy_info("gputn")
+        assert info.gpu_triggered and info.intra_kernel
+        assert info.gpu_overhead == "Trigger"
+        assert info.cpu_overhead == "Partial Network Stack"
+
+    def test_only_gputn_combines_trigger_and_intra_kernel_cheaply(self):
+        """The paper's claim: GPU-TN uniquely pairs GPU triggering with
+        intra-kernel initiation without running a network stack on GPU."""
+        both = [k for k, v in STRATEGIES.items()
+                if v.gpu_triggered and v.intra_kernel]
+        assert set(both) == {"gputn", "gpu-native"}
+        assert STRATEGIES["gputn"].gpu_overhead == "Trigger"
+        assert STRATEGIES["gpu-native"].gpu_overhead == "Network Stack"
+
+    def test_evaluated_set(self):
+        assert EVALUATED_STRATEGIES == ("cpu", "hdn", "gds", "gputn")
+        for key in EVALUATED_STRATEGIES:
+            assert STRATEGIES[key].evaluated
+
+    def test_unknown_strategy_helpful_error(self):
+        with pytest.raises(KeyError, match="known:"):
+            strategy_info("quantum")
+
+    def test_table_rows_render(self):
+        row = strategy_info("gputn").table_row()
+        assert row[1] == "Yes" and row[2] == "Yes"
+
+
+class TestFlowRegistry:
+    def test_all_evaluated_strategies_have_flows(self):
+        for key in EVALUATED_STRATEGIES:
+            init, target = get_flow(key)
+            assert callable(init) and callable(target)
+
+    def test_extension_flows_resolve(self):
+        for key in ("gpu-host", "gpu-native"):
+            init, target = get_flow(key)
+            assert callable(init) and callable(target)
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(KeyError, match="evaluated strategies"):
+            get_flow("quantum-networking")
