@@ -32,6 +32,10 @@ def __getattr__(name: str):
     import importlib
 
     lazy = {
+        "Experiment": ("repro.runtime", "Experiment"),
+        "ResultCache": ("repro.runtime", "ResultCache"),
+        "RunRecord": ("repro.runtime", "RunRecord"),
+        "Sweep": ("repro.runtime", "Sweep"),
         "discrete_gpu_config": ("repro.presets", "discrete_gpu_config"),
         "run_microbenchmark": ("repro.apps.microbench", "run_microbenchmark"),
         "run_jacobi": ("repro.apps.jacobi", "run_jacobi"),

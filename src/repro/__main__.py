@@ -2,8 +2,15 @@
 
 Usage::
 
-    python -m repro                 # everything (Figure 10/11 take ~2 min)
-    python -m repro fig1 fig8 tab2  # a subset
+    python -m repro                     # everything (Figure 10/11 dominate)
+    python -m repro fig1 fig8 tab2      # a subset
+    python -m repro fig9 fig10 -j 8     # fan sweep points over 8 processes
+    python -m repro --no-cache fig10    # force fresh simulation
+    python -m repro fig8 --export-trace traces/   # Perfetto-loadable JSON
+
+Results are cached on disk (``.repro-cache/`` by default, override with
+``$REPRO_CACHE_DIR``) keyed by code version, configuration hash and sweep
+point, so re-rendering an exhibit is free once its runs exist.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from repro.analysis import (
     table2_report,
     table3_report,
 )
+from repro.runtime import ResultCache
 
 _EXHIBITS = {
     "tab1": ("Table 1", table1_report),
@@ -33,6 +41,11 @@ _EXHIBITS = {
     "fig11": ("Figure 11", figure11_report),
 }
 
+#: Exhibits that run simulation sweeps (and so accept jobs / cache).
+_SWEEPING = {"fig1", "fig9", "fig10", "fig11"}
+#: Exhibits whose tracer timelines can be exported.
+_TRACEABLE = {"fig8"}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -41,12 +54,36 @@ def main(argv=None) -> int:
                     "Intra-Kernel Communications' (SC17).")
     parser.add_argument("exhibits", nargs="*", choices=[*_EXHIBITS, []],
                         help=f"subset to run (default: all of {list(_EXHIBITS)})")
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="fan sweep points out over N worker processes "
+                             "(results are bit-identical to -j 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache location (default: .repro-cache, "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--export-trace", metavar="DIR", default=None,
+                        help="write Chrome trace-event JSON for traceable "
+                             "exhibits (fig8) into DIR")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     picks = args.exhibits or list(_EXHIBITS)
+    if args.export_trace and not _TRACEABLE & set(picks):
+        print(f"warning: --export-trace has no effect; none of {picks} is "
+              f"traceable (traceable: {sorted(_TRACEABLE)})", file=sys.stderr)
     for key in picks:
         name, fn = _EXHIBITS[key]
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        fn()
+        kwargs = {}
+        if key in _SWEEPING:
+            kwargs["jobs"] = args.jobs
+            kwargs["cache"] = cache
+        if key in _TRACEABLE and args.export_trace:
+            kwargs["export_dir"] = args.export_trace
+        fn(**kwargs)
     return 0
 
 

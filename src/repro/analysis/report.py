@@ -9,11 +9,13 @@ and scale-reduction knobs so the full suite runs in seconds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import render_table, sparkline
 from repro.config import MB, SystemConfig, default_config
 from repro.gpu.dispatcher import FIGURE1_GPUS
+from repro.runtime import ResultCache, Sweep, export_chrome_trace
 from repro.strategies import STRATEGIES
 
 __all__ = [
@@ -32,24 +34,31 @@ __all__ = [
 
 def figure1_report(depths: Sequence[int] = (1, 4, 16, 64, 256),
                    measured: bool = True,
-                   config: Optional[SystemConfig] = None) -> Dict[str, List[float]]:
+                   config: Optional[SystemConfig] = None,
+                   jobs: int = 1,
+                   cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
     """Figure 1: kernel launch latency (us) vs queue depth, three GPUs.
 
     With ``measured=True`` the latencies are *measured* by launching empty
     kernel batches on the simulated device; otherwise the analytic model
     values are reported.
     """
-    from repro.apps.launch_study import measure_launch_latency
+    from repro.apps.launch_study import LaunchLatencyExperiment
 
     config = config or default_config()
     data: Dict[str, List[float]] = {}
-    for name, model in FIGURE1_GPUS.items():
-        if measured:
-            lat = [measure_launch_latency(config, model, depth) / 1000.0
-                   for depth in depths]
-        else:
-            lat = [model.per_kernel_ns(d) / 1000.0 for d in depths]
-        data[name] = lat
+    if measured:
+        sweep = Sweep(LaunchLatencyExperiment(),
+                      grid={"gpu": list(FIGURE1_GPUS),
+                            "queue_depth": list(depths)})
+        records = sweep.run(config=config, jobs=jobs, cache=cache)
+        by_point = {(r.params["gpu"], r.params["queue_depth"]):
+                    r.metrics["per_kernel_ns"] for r in records}
+        for name in FIGURE1_GPUS:
+            data[name] = [by_point[(name, d)] / 1000.0 for d in depths]
+    else:
+        for name, model in FIGURE1_GPUS.items():
+            data[name] = [model.per_kernel_ns(d) / 1000.0 for d in depths]
     rows = [[name] + [f"{v:.1f}" for v in vals] + [sparkline(vals)]
             for name, vals in data.items()]
     print(render_table(
@@ -59,11 +68,25 @@ def figure1_report(depths: Sequence[int] = (1, 4, 16, 64, 256),
     return data
 
 
-def figure8_report(config: Optional[SystemConfig] = None) -> Dict[str, Dict[str, float]]:
-    """Figure 8: microbenchmark latency decomposition (us)."""
-    from repro.apps.microbench import run_all_strategies
+def figure8_report(config: Optional[SystemConfig] = None,
+                   export_dir: Union[str, Path, None] = None
+                   ) -> Dict[str, Dict[str, float]]:
+    """Figure 8: microbenchmark latency decomposition (us).
 
-    results = run_all_strategies(config)
+    With ``export_dir`` set, each strategy's full simulation timeline is
+    also written as Chrome trace-event JSON (``fig8-<strategy>.json``),
+    loadable in Perfetto / chrome://tracing.
+    """
+    from repro.apps.microbench import execute_all_strategies
+
+    executions = execute_all_strategies(config)
+    results = {s: e.raw for s, e in executions.items()}
+    if export_dir is not None:
+        for strategy, execution in executions.items():
+            path = export_chrome_trace(
+                execution.cluster.tracer,
+                Path(export_dir) / f"fig8-{strategy}.json")
+            print(f"trace: {path}")
     rows = []
     data: Dict[str, Dict[str, float]] = {}
     for key in ("gputn", "gds", "hdn"):
@@ -98,17 +121,25 @@ def figure8_report(config: Optional[SystemConfig] = None) -> Dict[str, Dict[str,
 
 def figure9_report(sizes: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
                    iters: int = 2,
-                   config: Optional[SystemConfig] = None) -> Dict[str, List[float]]:
+                   config: Optional[SystemConfig] = None,
+                   jobs: int = 1,
+                   cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
     """Figure 9: Jacobi speedup vs HDN over local grid sizes."""
-    from repro.apps.jacobi import run_jacobi
+    from repro.apps.jacobi import JacobiExperiment
 
     config = config or default_config()
     strategies = ("cpu", "gds", "gputn")
+    sweep = Sweep(JacobiExperiment(),
+                  grid={"strategy": ["hdn", *strategies], "n": list(sizes)},
+                  base={"iters": iters})
+    records = sweep.run(config=config, jobs=jobs, cache=cache)
+    total_ns = {(r.params["strategy"], r.params["n"]): r.metrics["total_ns"]
+                for r in records}
     data: Dict[str, List[float]] = {s: [] for s in strategies}
     for n in sizes:
-        hdn = run_jacobi(config, "hdn", n=n, iters=iters).total_ns
+        hdn = total_ns[("hdn", n)]
         for s in strategies:
-            data[s].append(hdn / run_jacobi(config, s, n=n, iters=iters).total_ns)
+            data[s].append(hdn / total_ns[(s, n)])
     rows = [[s] + [f"{v:.3f}" for v in vals] + [sparkline(vals)]
             for s, vals in data.items()]
     print(render_table(
@@ -120,20 +151,30 @@ def figure9_report(sizes: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
 
 def figure10_report(node_counts: Sequence[int] = (2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32),
                     nbytes: int = 8 * MB,
-                    config: Optional[SystemConfig] = None) -> Dict[str, List[float]]:
+                    config: Optional[SystemConfig] = None,
+                    jobs: int = 1,
+                    cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
     """Figure 10: 8 MB Allreduce strong scaling, speedup vs CPU."""
-    from repro.collectives import run_ring_allreduce
+    from repro.collectives import AllreduceExperiment
 
     config = config or default_config()
     strategies = ("hdn", "gds", "gputn")
+    sweep = Sweep(AllreduceExperiment(),
+                  grid={"strategy": ["cpu", *strategies],
+                        "n_nodes": list(node_counts)},
+                  base={"nbytes": nbytes})
+    records = sweep.run(config=config, jobs=jobs, cache=cache)
+    total_ns: Dict[Tuple[str, int], int] = {}
+    for r in records:
+        s, p = r.params["strategy"], r.params["n_nodes"]
+        if s != "cpu" and not r.metrics["correct"]:
+            raise AssertionError(f"wrong allreduce data: {s} at P={p}")
+        total_ns[(s, p)] = r.metrics["total_ns"]
     data: Dict[str, List[float]] = {s: [] for s in strategies}
     for p in node_counts:
-        cpu = run_ring_allreduce(config, "cpu", n_nodes=p, nbytes=nbytes).total_ns
+        cpu = total_ns[("cpu", p)]
         for s in strategies:
-            r = run_ring_allreduce(config, s, n_nodes=p, nbytes=nbytes)
-            if not r.correct:
-                raise AssertionError(f"wrong allreduce data: {s} at P={p}")
-            data[s].append(cpu / r.total_ns)
+            data[s].append(cpu / total_ns[(s, p)])
     rows = [[s] + [f"{v:.3f}" for v in vals] + [sparkline(vals)]
             for s, vals in data.items()]
     print(render_table(
@@ -144,11 +185,14 @@ def figure10_report(node_counts: Sequence[int] = (2, 5, 8, 11, 14, 17, 20, 23, 2
 
 
 def figure11_report(n_nodes: int = 8,
-                    config: Optional[SystemConfig] = None) -> Dict[str, Dict[str, float]]:
+                    config: Optional[SystemConfig] = None,
+                    jobs: int = 1,
+                    cache: Optional[ResultCache] = None) -> Dict[str, Dict[str, float]]:
     """Figure 11: projected deep-learning speedups on 8 nodes."""
     from repro.apps.deeplearning import project_deep_learning
 
-    projs = project_deep_learning(config, n_nodes=n_nodes)
+    projs = project_deep_learning(config, n_nodes=n_nodes, jobs=jobs,
+                                  result_cache=cache)
     rows = []
     data: Dict[str, Dict[str, float]] = {}
     for key, proj in projs.items():

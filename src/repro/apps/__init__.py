@@ -13,12 +13,24 @@
 
 from repro.apps.allreduce_bench import run_allreduce, strong_scaling_study
 from repro.apps.deeplearning import WORKLOADS, project_deep_learning
-from repro.apps.jacobi import JacobiResult, jacobi_reference, run_jacobi
-from repro.apps.launch_study import measure_launch_latency
-from repro.apps.microbench import MicrobenchResult, run_microbenchmark
+from repro.apps.jacobi import (
+    JacobiExperiment,
+    JacobiResult,
+    jacobi_reference,
+    run_jacobi,
+)
+from repro.apps.launch_study import LaunchLatencyExperiment, measure_launch_latency
+from repro.apps.microbench import (
+    MicrobenchExperiment,
+    MicrobenchResult,
+    run_microbenchmark,
+)
 
 __all__ = [
+    "JacobiExperiment",
     "JacobiResult",
+    "LaunchLatencyExperiment",
+    "MicrobenchExperiment",
     "MicrobenchResult",
     "WORKLOADS",
     "jacobi_reference",

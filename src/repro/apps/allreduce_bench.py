@@ -2,7 +2,10 @@
 
 A thin application layer over :mod:`repro.collectives`: fixes the 8 MB
 single-precision payload, sweeps node counts, and reports speedup against
-the CPU-only configuration as the paper does.
+the CPU-only configuration as the paper does.  The sweep itself runs on
+:class:`repro.runtime.Sweep`, so it parallelizes across a process pool
+(``jobs``) and caches results on disk (``cache``) like every other
+exhibit.
 """
 
 from __future__ import annotations
@@ -10,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.collectives import AllreduceResult, run_ring_allreduce
+from repro.collectives import AllreduceExperiment, AllreduceResult, run_ring_allreduce
 from repro.config import MB, SystemConfig, default_config
+from repro.runtime import ResultCache, Sweep
 from repro.strategies import EVALUATED_STRATEGIES
 
 __all__ = ["ScalingStudy", "run_allreduce", "strong_scaling_study"]
@@ -51,17 +55,22 @@ def strong_scaling_study(config: Optional[SystemConfig] = None,
                                                        20, 23, 26, 29, 32),
                          nbytes: int = PAYLOAD_8MB,
                          strategies: Sequence[str] = EVALUATED_STRATEGIES,
-                         ) -> ScalingStudy:
+                         jobs: int = 1,
+                         cache: Optional[ResultCache] = None) -> ScalingStudy:
     """Run the full Figure 10 sweep, verifying every result's data."""
     config = config or default_config()
+    sweep = Sweep(AllreduceExperiment(),
+                  grid={"strategy": list(strategies),
+                        "n_nodes": list(node_counts)},
+                  base={"nbytes": nbytes})
+    records = sweep.run(config=config, jobs=jobs, cache=cache)
+
     study = ScalingStudy(nbytes=nbytes, node_counts=list(node_counts))
     for strategy in strategies:
-        times: List[int] = []
-        for p in node_counts:
-            result = run_ring_allreduce(config, strategy=strategy,
-                                        n_nodes=p, nbytes=nbytes)
-            if not result.correct:
-                raise AssertionError(f"wrong allreduce data: {strategy} P={p}")
-            times.append(result.total_ns)
-        study.total_ns[strategy] = times
+        study.total_ns[strategy] = []
+    for record in records:
+        strategy, p = record.params["strategy"], record.params["n_nodes"]
+        if not record.metrics["correct"]:
+            raise AssertionError(f"wrong allreduce data: {strategy} P={p}")
+        study.total_ns[strategy].append(record.metrics["total_ns"])
     return study

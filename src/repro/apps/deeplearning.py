@@ -30,8 +30,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.collectives.ring import run_ring_allreduce
+from repro.collectives.ring import AllreduceExperiment
 from repro.config import KB, MB, SystemConfig, default_config
+from repro.runtime import ResultCache, Sweep
 from repro.sim.rng import RandomStreams
 from repro.strategies import EVALUATED_STRATEGIES
 
@@ -138,22 +139,50 @@ class DLProjection:
 
 
 class _AllreduceCostCache:
-    """Memoizes simulated Allreduce times per (strategy, nodes, size)."""
+    """Memoizes simulated Allreduce times per (strategy, nodes, size).
 
-    def __init__(self, config: SystemConfig):
+    Built on :class:`~repro.collectives.AllreduceExperiment`:
+    :meth:`prefetch` fans a batch of unseen combinations out over a
+    process pool (optionally backed by the on-disk result cache), and
+    :meth:`time_ns` serves misses one at a time.
+    """
+
+    def __init__(self, config: SystemConfig, jobs: int = 1,
+                 result_cache: Optional[ResultCache] = None):
         self.config = config
+        self.jobs = jobs
+        self.result_cache = result_cache
+        self._experiment = AllreduceExperiment()
         self._cache: Dict[Tuple[str, int, int], int] = {}
+
+    def _ingest(self, key: Tuple[str, int, int], record) -> int:
+        if not record.metrics["correct"]:
+            raise AssertionError(f"allreduce produced wrong data for {key}")
+        t = self._cache[key] = record.metrics["total_ns"]
+        return t
+
+    def prefetch(self, combos: Sequence[Tuple[str, int, int]]) -> None:
+        """Simulate every un-memoized (strategy, nodes, size) combo, in
+        parallel when ``jobs > 1``."""
+        points = [{"strategy": s, "n_nodes": p, "nbytes": b}
+                  for s, p, b in dict.fromkeys(combos)
+                  if (s, p, b) not in self._cache]
+        if not points:
+            return
+        records = Sweep(self._experiment, points=points).run(
+            config=self.config, jobs=self.jobs, cache=self.result_cache)
+        for point, record in zip(points, records):
+            self._ingest((point["strategy"], point["n_nodes"],
+                          point["nbytes"]), record)
 
     def time_ns(self, strategy: str, n_nodes: int, nbytes: int) -> int:
         key = (strategy, n_nodes, nbytes)
         t = self._cache.get(key)
         if t is None:
-            result = run_ring_allreduce(self.config, strategy=strategy,
-                                        n_nodes=n_nodes, nbytes=nbytes)
-            if not result.correct:
-                raise AssertionError(
-                    f"allreduce produced wrong data for {key}")
-            t = self._cache[key] = result.total_ns
+            records = Sweep(self._experiment, points=[
+                {"strategy": strategy, "n_nodes": n_nodes, "nbytes": nbytes},
+            ]).run(config=self.config, cache=self.result_cache)
+            t = self._ingest(key, records[0])
         return t
 
 
@@ -163,12 +192,22 @@ def project_deep_learning(
     n_nodes: int = _DEFAULT_NODES,
     strategies: Sequence[str] = EVALUATED_STRATEGIES,
     cache: Optional[_AllreduceCostCache] = None,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> Dict[str, DLProjection]:
     """Figure 11: project app-level speedups on a cluster of ``n_nodes``."""
     config = config or default_config()
-    cache = cache or _AllreduceCostCache(config)
+    cache = cache or _AllreduceCostCache(config, jobs=jobs,
+                                         result_cache=result_cache)
+    picks = list(workloads or WORKLOADS)
+    cache.prefetch([
+        (strategy, n_nodes, size)
+        for key in picks
+        for strategy in strategies
+        for size, _ in WORKLOADS[key].size_profile
+    ])
     out: Dict[str, DLProjection] = {}
-    for key in (workloads or WORKLOADS):
+    for key in picks:
         spec = WORKLOADS[key]
         proj = DLProjection(workload=spec.name, n_nodes=n_nodes)
         weights = {s: w for s, w in spec.size_profile}

@@ -28,8 +28,9 @@ reference in the test suite.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,9 +38,10 @@ from repro.cluster import Cluster, Node
 from repro.config import SystemConfig, default_config
 from repro.gpu.kernel import KernelContext, KernelDescriptor
 from repro.memory import Agent, Buffer
+from repro.runtime import Experiment
 from repro.sim import AllOf
 
-__all__ = ["JacobiResult", "jacobi_reference", "run_jacobi"]
+__all__ = ["JacobiExperiment", "JacobiResult", "jacobi_reference", "run_jacobi"]
 
 _DIRS = ("north", "south", "west", "east")
 _OPP = {"north": "south", "south": "north", "west": "east", "east": "west"}
@@ -606,36 +608,73 @@ class JacobiResult:
         return self.total_ns / self.iters
 
 
+class JacobiExperiment(Experiment):
+    """The Figure 9 halo-exchange stencil as a runtime experiment.
+
+    Parameters: ``strategy``, local grid size ``n``, node grid ``px`` x
+    ``py``, ``iters`` and the decomposition ``seed``.  Metrics include a
+    digest of the assembled global grid so determinism tests cover the
+    numerics, not just the clock.
+    """
+
+    name = "jacobi"
+    defaults = {"strategy": "gputn", "n": 128, "px": 2, "py": 2,
+                "iters": 1, "seed": 7}
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        strategy = params["strategy"]
+        if strategy not in _NODE_DRIVERS:
+            raise KeyError(f"unknown strategy {strategy!r}; "
+                           f"choose from {sorted(_NODE_DRIVERS)}")
+        return Cluster(n_nodes=params["px"] * params["py"], config=config,
+                       with_gpu=(strategy != "cpu"), trace=trace)
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        strategy = params["strategy"]
+        n, px, py = params["n"], params["px"], params["py"]
+        iters, seed = params["iters"], params["seed"]
+        n_nodes = px * py
+        tiles = [_JacobiTile(cluster[r], n, r, px, py, seed)
+                 for r in range(n_nodes)]
+        initial_ghost_fill(tiles)
+        peers = {r: cluster[r] for r in range(n_nodes)}
+        for r in range(n_nodes):
+            cluster[r].host._jacobi_tile = tiles[r]  # type: ignore[attr-defined]
+
+        driver = _NODE_DRIVERS[strategy]
+        procs = [cluster.spawn(driver(cluster[r], tiles[r], peers, iters),
+                               name=f"jacobi.{strategy}.{r}")
+                 for r in range(n_nodes)]
+        return {"procs": procs, "tiles": tiles}
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]):
+        procs, tiles = ctx["procs"], ctx["tiles"]
+        result = JacobiResult(
+            strategy=params["strategy"], n=params["n"],
+            px=params["px"], py=params["py"], iters=params["iters"],
+            total_ns=max(p.value for p in procs),
+            grid=assemble(tiles, params["px"], params["py"]),
+            memory_hazards=cluster.total_hazards(),
+            cpu_busy_ns=cluster.total_cpu_busy_ns(),
+        )
+        metrics = {
+            "total_ns": result.total_ns,
+            "per_iteration_ns": result.per_iteration_ns,
+            "cpu_busy_ns": result.cpu_busy_ns,
+            "grid_sha256": hashlib.sha256(result.grid.tobytes()).hexdigest(),
+        }
+        return metrics, result
+
+
 def run_jacobi(config: Optional[SystemConfig] = None, strategy: str = "gputn",
                n: int = 128, px: int = 2, py: int = 2, iters: int = 1,
                seed: int = 7) -> JacobiResult:
     """Run ``iters`` Jacobi iterations of an ``n x n``-per-node grid over a
     ``px x py`` cluster under the given strategy."""
-    if strategy not in _NODE_DRIVERS:
-        raise KeyError(f"unknown strategy {strategy!r}; "
-                       f"choose from {sorted(_NODE_DRIVERS)}")
-    config = config or default_config()
-    n_nodes = px * py
-    cluster = Cluster(n_nodes=n_nodes, config=config,
-                      with_gpu=(strategy != "cpu"), trace=False)
-    tiles = [_JacobiTile(cluster[r], n, r, px, py, seed) for r in range(n_nodes)]
-    initial_ghost_fill(tiles)
-    peers = {r: cluster[r] for r in range(n_nodes)}
-    for r in range(n_nodes):
-        cluster[r].host._jacobi_tile = tiles[r]  # type: ignore[attr-defined]
-
-    driver = _NODE_DRIVERS[strategy]
-    procs = [cluster.spawn(driver(cluster[r], tiles[r], peers, iters),
-                           name=f"jacobi.{strategy}.{r}")
-             for r in range(n_nodes)]
-    cluster.run()
-    for p in procs:
-        if not p.ok:
-            raise p.value
-    return JacobiResult(
-        strategy=strategy, n=n, px=px, py=py, iters=iters,
-        total_ns=max(p.value for p in procs),
-        grid=assemble(tiles, px, py),
-        memory_hazards=cluster.total_hazards(),
-        cpu_busy_ns=cluster.total_cpu_busy_ns(),
-    )
+    return JacobiExperiment().execute(
+        {"strategy": strategy, "n": n, "px": px, "py": py,
+         "iters": iters, "seed": seed},
+        config=config,
+    ).raw

@@ -9,14 +9,15 @@ paper measured across vendors and form factors.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.cluster import Cluster
 from repro.config import SystemConfig, default_config
-from repro.gpu.dispatcher import LaunchLatencyModel
+from repro.gpu.dispatcher import FIGURE1_GPUS, LaunchLatencyModel
 from repro.gpu.kernel import KernelDescriptor
+from repro.runtime import Experiment
 
-__all__ = ["measure_launch_latency"]
+__all__ = ["LaunchLatencyExperiment", "measure_launch_latency"]
 
 
 def _empty_kernel(ctx):
@@ -24,22 +25,61 @@ def _empty_kernel(ctx):
     yield  # pragma: no cover - generator marker
 
 
+class LaunchLatencyExperiment(Experiment):
+    """Queue-depth launch-latency measurement as a runtime experiment.
+
+    Parameters: ``gpu`` (a :data:`FIGURE1_GPUS` model name, or None for
+    the Table 2 constant model) and ``queue_depth``.  An explicit
+    :class:`LaunchLatencyModel` instance can be passed to the constructor
+    for ad-hoc studies; named models keep sweep points JSON-safe.
+    """
+
+    name = "launch-latency"
+    defaults = {"gpu": None, "queue_depth": 1}
+
+    def __init__(self, launch_model: Optional[LaunchLatencyModel] = None):
+        self.launch_model = launch_model
+
+    def _resolve_model(self, params: Dict[str, Any]) -> Optional[LaunchLatencyModel]:
+        if self.launch_model is not None:
+            return self.launch_model
+        name = params["gpu"]
+        return FIGURE1_GPUS[name] if name is not None else None
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        if params["queue_depth"] < 1:
+            raise ValueError(
+                f"queue depth must be >= 1, got {params['queue_depth']}")
+        return Cluster(n_nodes=1, config=config,
+                       launch_model=self._resolve_model(params), trace=trace)
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        gpu = cluster[0].gpu
+        assert gpu is not None
+        instances = [
+            gpu.launch(KernelDescriptor(fn=_empty_kernel, n_workgroups=1,
+                                        name=f"empty{i}"))
+            for i in range(params["queue_depth"])
+        ]
+        return {"instances": instances}
+
+    def drive(self, cluster: Cluster, ctx: Dict[str, Any],
+              params: Dict[str, Any]) -> None:
+        ctx["end_ns"] = cluster.sim.run_until_event(
+            ctx["instances"][-1].finished)
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]):
+        per_kernel = ctx["end_ns"] / params["queue_depth"]
+        metrics = {"per_kernel_ns": per_kernel, "end_ns": ctx["end_ns"]}
+        return metrics, per_kernel
+
+
 def measure_launch_latency(config: Optional[SystemConfig] = None,
                            launch_model: Optional[LaunchLatencyModel] = None,
                            queue_depth: int = 1) -> float:
     """Mean per-kernel latency (ns) with ``queue_depth`` kernels enqueued
     at once on a single simulated GPU."""
-    if queue_depth < 1:
-        raise ValueError(f"queue depth must be >= 1, got {queue_depth}")
-    config = config or default_config()
-    cluster = Cluster(n_nodes=1, config=config, launch_model=launch_model,
-                      trace=False)
-    gpu = cluster[0].gpu
-    assert gpu is not None
-    instances = [
-        gpu.launch(KernelDescriptor(fn=_empty_kernel, n_workgroups=1,
-                                    name=f"empty{i}"))
-        for i in range(queue_depth)
-    ]
-    end = cluster.sim.run_until_event(instances[-1].finished)
-    return end / queue_depth
+    return LaunchLatencyExperiment(launch_model).execute(
+        {"queue_depth": queue_depth}, config=config).raw

@@ -20,15 +20,22 @@ kernel finishes (intra-kernel initiation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster import Cluster
 from repro.config import SystemConfig, default_config
+from repro.runtime import Execution, Experiment
 from repro.strategies import EVALUATED_STRATEGIES, FlowResult, get_flow
 
-__all__ = ["MicrobenchResult", "run_all_strategies", "run_microbenchmark"]
+__all__ = [
+    "MicrobenchExperiment",
+    "MicrobenchResult",
+    "execute_all_strategies",
+    "run_all_strategies",
+    "run_microbenchmark",
+]
 
 _CACHE_LINE = 64
 
@@ -76,52 +83,87 @@ class MicrobenchResult:
                 / self.normalized_target_completion_ns)
 
 
+class MicrobenchExperiment(Experiment):
+    """The two-node ping as a runtime experiment.
+
+    Parameters: ``strategy``, ``nbytes``, plus the GPU-TN-only knobs
+    ``overlap_post`` / ``post_delay_ns``.  Always traces by default -- the
+    whole point of this experiment is the span decomposition.
+    """
+
+    name = "microbench"
+    defaults = {"strategy": "gputn", "nbytes": _CACHE_LINE,
+                "overlap_post": False, "post_delay_ns": 0}
+
+    _PATTERN = 0xC3
+    _WIRE_TAG = 0x42
+
+    def trace_default(self, params: Dict[str, Any]) -> bool:
+        return True
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        return Cluster(n_nodes=2, config=config, trace=trace)
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        strategy, nbytes = params["strategy"], params["nbytes"]
+        initiator, target = cluster[0], cluster[1]
+        send_buf = initiator.host.alloc(nbytes, name="send")
+        recv_buf = target.host.alloc(nbytes, name="recv")
+
+        init_fn, target_fn = get_flow(strategy)
+        kwargs = {}
+        if strategy == "gputn":
+            kwargs["overlap_post"] = params["overlap_post"]
+            kwargs["post_delay_ns"] = params["post_delay_ns"]
+        one_sided = strategy in ("gds", "gputn", "gpu-host", "gpu-native")
+        remote_addr = recv_buf.addr() if one_sided else None
+
+        target_proc = cluster.spawn(
+            target_fn(target, recv_buf, nbytes, self._WIRE_TAG), name="target")
+        init_proc = cluster.spawn(
+            init_fn(initiator, target.name, send_buf, nbytes, remote_addr,
+                    self._WIRE_TAG, pattern=self._PATTERN, **kwargs),
+            name="initiator")
+        # Initiator first: its failure is the one to surface, as before.
+        return {"procs": [init_proc, target_proc], "recv_buf": recv_buf,
+                "init_proc": init_proc, "target_proc": target_proc}
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]):
+        nbytes = params["nbytes"]
+        recv = ctx["recv_buf"].view(np.uint8)[:nbytes]
+        payload_ok = bool((recv == self._PATTERN).all())
+        result = MicrobenchResult(
+            strategy=params["strategy"],
+            nbytes=nbytes,
+            initiator=ctx["init_proc"].value,
+            target_completion_ns=ctx["target_proc"].value,
+            payload_ok=payload_ok,
+            memory_hazards=cluster.total_hazards(),
+        )
+        _collect_spans(cluster, cluster[0].name, cluster[1].name, result)
+        metrics = {
+            "target_completion_ns": result.target_completion_ns,
+            "normalized_target_completion_ns":
+                result.normalized_target_completion_ns,
+            "t0_ns": result.t0_ns,
+            "payload_ok": payload_ok,
+            "network_posted": result.initiator.network_posted,
+        }
+        return metrics, result
+
+
 def run_microbenchmark(config: Optional[SystemConfig] = None,
                        strategy: str = "gputn", nbytes: int = _CACHE_LINE,
                        overlap_post: bool = False,
                        post_delay_ns: int = 0) -> MicrobenchResult:
     """Run the two-node ping for one strategy and decompose its latency."""
-    config = config or default_config()
-    cluster = Cluster(n_nodes=2, config=config)
-    initiator, target = cluster[0], cluster[1]
-    pattern = 0xC3
-    wire_tag = 0x42
-
-    send_buf = initiator.host.alloc(nbytes, name="send")
-    recv_buf = target.host.alloc(nbytes, name="recv")
-
-    init_fn, target_fn = get_flow(strategy)
-    kwargs = {}
-    if strategy == "gputn":
-        kwargs["overlap_post"] = overlap_post
-        kwargs["post_delay_ns"] = post_delay_ns
-    one_sided = strategy in ("gds", "gputn", "gpu-host", "gpu-native")
-    remote_addr = recv_buf.addr() if one_sided else None
-
-    target_proc = cluster.spawn(
-        target_fn(target, recv_buf, nbytes, wire_tag), name="target")
-    init_proc = cluster.spawn(
-        init_fn(initiator, target.name, send_buf, nbytes, remote_addr,
-                wire_tag, pattern=pattern, **kwargs),
-        name="initiator")
-
-    cluster.run()
-    if not init_proc.ok:
-        raise init_proc.value
-    if not target_proc.ok:
-        raise target_proc.value
-
-    payload_ok = bool((recv_buf.view(np.uint8)[:nbytes] == pattern).all())
-    result = MicrobenchResult(
-        strategy=strategy,
-        nbytes=nbytes,
-        initiator=init_proc.value,
-        target_completion_ns=target_proc.value,
-        payload_ok=payload_ok,
-        memory_hazards=cluster.total_hazards(),
-    )
-    _collect_spans(cluster, initiator.name, target.name, result)
-    return result
+    return MicrobenchExperiment().execute(
+        {"strategy": strategy, "nbytes": nbytes, "overlap_post": overlap_post,
+         "post_delay_ns": post_delay_ns},
+        config=config,
+    ).raw
 
 
 def _collect_spans(cluster: Cluster, init_name: str, target_name: str,
@@ -137,10 +179,20 @@ def _collect_spans(cluster: Cluster, init_name: str, target_name: str,
             result.spans[key] = (span.start, span.end)
 
 
+def execute_all_strategies(config: Optional[SystemConfig] = None,
+                           nbytes: int = _CACHE_LINE) -> Dict[str, Execution]:
+    """Figure 8's full comparison with live clusters kept around, so the
+    caller can export each strategy's tracer (``--export-trace``)."""
+    experiment = MicrobenchExperiment()
+    return {s: experiment.execute({"strategy": s, "nbytes": nbytes},
+                                  config=config)
+            for s in EVALUATED_STRATEGIES}
+
+
 def run_all_strategies(config: Optional[SystemConfig] = None,
                        nbytes: int = _CACHE_LINE) -> Dict[str, MicrobenchResult]:
     """Figure 8's full comparison (cpu baseline included for reference)."""
-    return {s: run_microbenchmark(config, s, nbytes) for s in EVALUATED_STRATEGIES}
+    return {s: e.raw for s, e in execute_all_strategies(config, nbytes).items()}
 
 
 def decomposition_rows(results: Dict[str, MicrobenchResult]) -> List[str]:

@@ -4,7 +4,8 @@ Not a paper exhibit, but the standard first plot for any networking
 stack: one-sided put latency and achieved bandwidth as a function of
 message size, per strategy.  Useful for sanity-checking the calibration
 (small messages are overhead-bound; large ones saturate the 100 Gbps
-link) and for users exploring their own configurations.
+link) and for users exploring their own configurations.  Built on
+:class:`repro.runtime.Sweep` over the microbenchmark experiment.
 """
 
 from __future__ import annotations
@@ -12,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.microbench import run_microbenchmark
+from repro.apps.microbench import MicrobenchExperiment
 from repro.config import KB, MB, SystemConfig, default_config
+from repro.runtime import ResultCache, Sweep
 
 __all__ = ["SweepPoint", "size_sweep"]
 
@@ -34,22 +36,31 @@ class SweepPoint:
 
 def size_sweep(config: Optional[SystemConfig] = None,
                strategy: str = "gputn",
-               sizes: Sequence[int] = DEFAULT_SIZES) -> List[SweepPoint]:
+               sizes: Sequence[int] = DEFAULT_SIZES,
+               jobs: int = 1,
+               cache: Optional[ResultCache] = None) -> List[SweepPoint]:
     """Sweep message sizes for one strategy; latency is target completion
     measured from kernel-launch start (Figure 8 time base)."""
     config = config or default_config()
+    sweep = Sweep(MicrobenchExperiment(),
+                  grid={"nbytes": list(sizes)},
+                  base={"strategy": strategy})
+    records = sweep.run(config=config, jobs=jobs, cache=cache)
     points = []
-    for nbytes in sizes:
-        result = run_microbenchmark(config, strategy, nbytes=nbytes)
-        if not result.payload_ok:
+    for record in records:
+        nbytes = record.params["nbytes"]
+        if not record.metrics["payload_ok"]:
             raise AssertionError(f"payload corrupted at {nbytes} B")
         points.append(SweepPoint.from_run(
-            nbytes, result.normalized_target_completion_ns))
+            nbytes, record.metrics["normalized_target_completion_ns"]))
     return points
 
 
 def sweep_all(config: Optional[SystemConfig] = None,
               strategies: Sequence[str] = ("hdn", "gds", "gputn"),
-              sizes: Sequence[int] = DEFAULT_SIZES
+              sizes: Sequence[int] = DEFAULT_SIZES,
+              jobs: int = 1,
+              cache: Optional[ResultCache] = None
               ) -> Dict[str, List[SweepPoint]]:
-    return {s: size_sweep(config, s, sizes) for s in strategies}
+    return {s: size_sweep(config, s, sizes, jobs=jobs, cache=cache)
+            for s in strategies}

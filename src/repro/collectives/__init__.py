@@ -14,7 +14,11 @@ pre-registered triggered put fired from inside a single persistent kernel.
 """
 
 from repro.collectives.offload import nic_barrier, nic_broadcast
-from repro.collectives.ring import AllreduceResult, run_ring_allreduce
+from repro.collectives.ring import (
+    AllreduceExperiment,
+    AllreduceResult,
+    run_ring_allreduce,
+)
 from repro.collectives.schedule import (
     CollectiveSchedule,
     ScheduleOp,
@@ -22,6 +26,7 @@ from repro.collectives.schedule import (
 )
 
 __all__ = [
+    "AllreduceExperiment",
     "AllreduceResult",
     "CollectiveSchedule",
     "ScheduleOp",

@@ -20,7 +20,7 @@ replaced); allgather puts land directly in the destination chunk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -29,9 +29,15 @@ from repro.collectives.schedule import OpKind, ring_allreduce_schedule
 from repro.config import SystemConfig, default_config
 from repro.gpu.kernel import KernelDescriptor
 from repro.memory import Agent, Buffer
+from repro.runtime import Experiment
 from repro.sim import AllOf
 
-__all__ = ["AllreduceResult", "allreduce_reference", "run_ring_allreduce"]
+__all__ = [
+    "AllreduceExperiment",
+    "AllreduceResult",
+    "allreduce_reference",
+    "run_ring_allreduce",
+]
 
 _F4 = np.dtype(np.float32)
 
@@ -372,43 +378,80 @@ class AllreduceResult:
     per_rank_ns: List[int] = field(default_factory=list)
 
 
+class AllreduceExperiment(Experiment):
+    """One ring Allreduce as a runtime experiment (Figure 10's unit).
+
+    Parameters: ``strategy``, ``n_nodes``, ``nbytes`` (padded up to a
+    whole number of float32 chunks, as an MPI implementation would do
+    internally for ragged divisions) and the data ``seed``.
+    """
+
+    name = "ring-allreduce"
+    defaults = {"strategy": "gputn", "n_nodes": 4,
+                "nbytes": 8 * 1024 * 1024, "seed": 11}
+
+    @staticmethod
+    def padded_nbytes(n_nodes: int, nbytes: int) -> int:
+        quantum = n_nodes * _F4.itemsize
+        return (nbytes + quantum - 1) // quantum * quantum
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        strategy = params["strategy"]
+        if strategy not in _EXECUTORS:
+            raise KeyError(f"unknown strategy {strategy!r}; "
+                           f"choose from {sorted(_EXECUTORS)}")
+        return Cluster(n_nodes=params["n_nodes"], config=config,
+                       with_gpu=(strategy != "cpu"), trace=trace)
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        strategy, n_nodes = params["strategy"], params["n_nodes"]
+        nbytes = self.padded_nbytes(n_nodes, params["nbytes"])
+        states = [_RingRank(cluster[r], r, n_nodes, nbytes, params["seed"])
+                  for r in range(n_nodes)]
+        initial = [s.vector.view(_F4).copy() for s in states]
+        peers = {r: cluster[r] for r in range(n_nodes)}
+        for r in range(n_nodes):
+            cluster[r].host._ring_state = states[r]  # type: ignore[attr-defined]
+
+        executor = _EXECUTORS[strategy]
+        procs = [cluster.spawn(executor(states[r], peers),
+                               name=f"allreduce.{strategy}.{r}")
+                 for r in range(n_nodes)]
+        return {"procs": procs, "states": states, "initial": initial,
+                "nbytes": nbytes}
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]):
+        procs, states = ctx["procs"], ctx["states"]
+        n_nodes = params["n_nodes"]
+        expected = allreduce_reference(ctx["initial"], n_nodes)
+        correct = all((s.vector.view(_F4) == expected).all() for s in states)
+        result = AllreduceResult(
+            strategy=params["strategy"], n_nodes=n_nodes,
+            nbytes=ctx["nbytes"],
+            total_ns=max(p.value for p in procs), correct=correct,
+            memory_hazards=cluster.total_hazards(),
+            cpu_busy_ns=cluster.total_cpu_busy_ns(),
+            per_rank_ns=[p.value for p in procs],
+        )
+        metrics = {
+            "total_ns": result.total_ns,
+            "correct": correct,
+            "cpu_busy_ns": result.cpu_busy_ns,
+            "per_rank_ns": list(result.per_rank_ns),
+            "padded_nbytes": result.nbytes,
+        }
+        return metrics, result
+
+
 def run_ring_allreduce(config: Optional[SystemConfig] = None,
                        strategy: str = "gputn", n_nodes: int = 4,
                        nbytes: int = 8 * 1024 * 1024,
                        seed: int = 11) -> AllreduceResult:
     """Run one 8 MB-class ring Allreduce and verify the result."""
-    if strategy not in _EXECUTORS:
-        raise KeyError(f"unknown strategy {strategy!r}; "
-                       f"choose from {sorted(_EXECUTORS)}")
-    config = config or default_config()
-    # Pad the payload up to a whole number of float32 chunks (an MPI
-    # implementation does the same internally for ragged divisions).
-    quantum = n_nodes * _F4.itemsize
-    nbytes = (nbytes + quantum - 1) // quantum * quantum
-    cluster = Cluster(n_nodes=n_nodes, config=config,
-                      with_gpu=(strategy != "cpu"), trace=False)
-    states = [_RingRank(cluster[r], r, n_nodes, nbytes, seed)
-              for r in range(n_nodes)]
-    initial = [s.vector.view(_F4).copy() for s in states]
-    peers = {r: cluster[r] for r in range(n_nodes)}
-    for r in range(n_nodes):
-        cluster[r].host._ring_state = states[r]  # type: ignore[attr-defined]
-
-    executor = _EXECUTORS[strategy]
-    procs = [cluster.spawn(executor(states[r], peers),
-                           name=f"allreduce.{strategy}.{r}")
-             for r in range(n_nodes)]
-    cluster.run()
-    for p in procs:
-        if not p.ok:
-            raise p.value
-
-    expected = allreduce_reference(initial, n_nodes)
-    correct = all((s.vector.view(_F4) == expected).all() for s in states)
-    return AllreduceResult(
-        strategy=strategy, n_nodes=n_nodes, nbytes=nbytes,
-        total_ns=max(p.value for p in procs), correct=correct,
-        memory_hazards=cluster.total_hazards(),
-        cpu_busy_ns=cluster.total_cpu_busy_ns(),
-        per_rank_ns=[p.value for p in procs],
-    )
+    return AllreduceExperiment().execute(
+        {"strategy": strategy, "n_nodes": n_nodes, "nbytes": nbytes,
+         "seed": seed},
+        config=config,
+    ).raw

@@ -1,0 +1,36 @@
+"""Unified experiment runtime.
+
+Every paper exhibit is a *parameter sweep over simulations*.  This package
+factors the shared lifecycle out of the application modules:
+
+* :class:`~repro.runtime.experiment.Experiment` -- the template for one
+  simulated run: config overlay -> :class:`~repro.cluster.Cluster`
+  construction -> flow spawning -> run -> typed
+  :class:`~repro.runtime.record.RunRecord`;
+* :class:`~repro.runtime.sweep.Sweep` -- declarative parameter grids fanned
+  out over a ``multiprocessing`` pool with deterministic result ordering
+  (parallel output is bit-identical to serial);
+* :class:`~repro.runtime.cache.ResultCache` -- an on-disk result cache keyed
+  by (code version, config hash, sweep point);
+* :mod:`~repro.runtime.traceexport` -- Chrome trace-event JSON export from
+  :class:`~repro.sim.trace.Tracer` (loadable in Perfetto / chrome://tracing).
+"""
+
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.experiment import Execution, Experiment
+from repro.runtime.record import RunRecord, config_fingerprint
+from repro.runtime.sweep import Sweep, run_sweep
+from repro.runtime.traceexport import chrome_trace, export_chrome_trace
+
+__all__ = [
+    "Execution",
+    "Experiment",
+    "ResultCache",
+    "RunRecord",
+    "Sweep",
+    "chrome_trace",
+    "config_fingerprint",
+    "default_cache_dir",
+    "export_chrome_trace",
+    "run_sweep",
+]

@@ -1,0 +1,131 @@
+"""The Experiment template: one simulated run, end to end.
+
+Every paper exhibit used to hand-roll the same five steps: overlay a
+config, build a :class:`~repro.cluster.Cluster`, spawn per-node flows,
+``cluster.run()``, then scrape the tracer and process values into an
+ad-hoc result object.  :class:`Experiment` captures that lifecycle once;
+concrete experiments implement only the hooks that differ.
+
+Experiments must be picklable (they are shipped to ``multiprocessing``
+workers by :class:`~repro.runtime.sweep.Sweep`), so they hold no cluster
+or simulator state -- everything transient lives in the per-run context
+dict threaded through the hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.cluster import Cluster
+from repro.config import SystemConfig, default_config
+from repro.runtime.record import RunRecord, config_fingerprint
+
+__all__ = ["Execution", "Experiment"]
+
+
+@dataclass
+class Execution:
+    """One finished run: the portable record plus in-process artifacts.
+
+    ``raw`` is the experiment's legacy result object (e.g.
+    :class:`~repro.apps.jacobi.JacobiResult`) and ``cluster`` the live
+    cluster -- both stay in-process; only ``record`` crosses process and
+    cache boundaries.
+    """
+
+    record: RunRecord
+    raw: Any
+    cluster: Cluster
+
+
+class Experiment:
+    """Template for one simulated experiment.
+
+    Subclasses set :attr:`name` and :attr:`defaults` and implement
+    :meth:`build_cluster`, :meth:`setup` and :meth:`finish`; the optional
+    hooks :meth:`configure`, :meth:`trace_default` and :meth:`drive` cover
+    config overlays, tracing policy and non-standard run loops.
+    """
+
+    #: Stable identifier; part of every cache key.
+    name: str = "experiment"
+    #: Default parameter values, merged under the caller's sweep point.
+    defaults: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ hooks
+    def configure(self, params: Dict[str, Any],
+                  config: SystemConfig) -> SystemConfig:
+        """Overlay per-point settings onto the base config (default: none)."""
+        return config
+
+    def trace_default(self, params: Dict[str, Any]) -> bool:
+        """Whether runs trace when the caller does not say (default: off --
+        tracing every span of a large sweep costs memory and time)."""
+        return False
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        raise NotImplementedError
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Allocate buffers and spawn flows; returns the run context.
+
+        The context's ``"procs"`` list (if present) is error-checked after
+        the run in order, so put the process whose failure should win first.
+        """
+        raise NotImplementedError
+
+    def drive(self, cluster: Cluster, ctx: Dict[str, Any],
+              params: Dict[str, Any]) -> None:
+        """Advance the simulation to completion (default: drain the heap)."""
+        cluster.run()
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]) -> Any:
+        """Return ``(metrics, raw)``: JSON-safe scalars for the record plus
+        the experiment's in-process result object."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- template
+    def resolve_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        merged = dict(self.defaults)
+        merged.update(params or {})
+        return merged
+
+    def execute(self, params: Optional[Dict[str, Any]] = None,
+                config: Optional[SystemConfig] = None,
+                trace: Optional[bool] = None) -> Execution:
+        """Run the full lifecycle once; returns record + raw + cluster."""
+        p = self.resolve_params(params)
+        cfg = self.configure(p, config or default_config())
+        do_trace = self.trace_default(p) if trace is None else trace
+        cluster = self.build_cluster(p, cfg, do_trace)
+        ctx = self.setup(cluster, p)
+        self.drive(cluster, ctx, p)
+        for proc in ctx.get("procs", ()):
+            if not proc.ok:
+                raise proc.value
+        metrics, raw = self.finish(cluster, ctx, p)
+        record = RunRecord(
+            experiment=self.name,
+            params=p,
+            config_fingerprint=config_fingerprint(cfg),
+            metrics=metrics,
+            hazards=cluster.total_hazards(),
+            spans=_span_rows(cluster.tracer) if do_trace else (),
+        )
+        return Execution(record=record, raw=raw, cluster=cluster)
+
+    def run(self, params: Optional[Dict[str, Any]] = None,
+            config: Optional[SystemConfig] = None,
+            trace: Optional[bool] = None) -> RunRecord:
+        """Run once and return only the portable :class:`RunRecord`."""
+        return self.execute(params, config, trace).record
+
+
+def _span_rows(tracer) -> tuple:
+    return tuple(sorted(
+        (s.node, s.actor, s.phase, s.start, s.end)
+        for s in tracer.spans if s.end is not None
+    ))

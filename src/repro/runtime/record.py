@@ -1,0 +1,132 @@
+"""Typed results of one simulated experiment run.
+
+A :class:`RunRecord` is the unit of everything downstream: sweeps return
+lists of them, the on-disk cache stores them, and reports assemble their
+figures from their ``metrics``.  Records therefore restrict themselves to
+JSON-safe scalars so that (a) a record round-trips the cache bit-exactly
+and (b) serial and parallel sweeps can be compared byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.version import __version__
+
+__all__ = ["RunRecord", "canonical_json", "config_fingerprint", "json_safe"]
+
+#: One closed tracer span: (node, actor, phase, start_ns, end_ns).
+SpanRow = Tuple[str, str, str, int, int]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce ``value`` into the JSON-stable subset records may carry.
+
+    Scalars pass through; numpy scalars are unwrapped; sequences become
+    lists; mappings keep string keys.  Anything else raises so experiments
+    fail loudly instead of caching unpicklable or unstable objects.
+    """
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, _SCALARS):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (list, tuple, dict)):
+        return json_safe(value.item())  # numpy scalar
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    raise TypeError(f"value {value!r} of type {type(value).__name__} is not "
+                    "JSON-safe; experiments must emit scalar metrics")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable digest of a :class:`~repro.config.SystemConfig` (or any
+    dataclass tree of scalars)."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    digest = hashlib.sha256(canonical_json(json_safe(payload)).encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class RunRecord:
+    """The typed result of one experiment run at one sweep point."""
+
+    experiment: str
+    params: Dict[str, Any]
+    config_fingerprint: str
+    metrics: Dict[str, Any]
+    hazards: int = 0
+    #: Figure-8-style span decomposition (closed tracer spans), present
+    #: only when the run traced.
+    spans: Tuple[SpanRow, ...] = ()
+    code_version: str = field(default=__version__)
+
+    def __post_init__(self) -> None:
+        self.params = {str(k): json_safe(v) for k, v in self.params.items()}
+        self.metrics = {str(k): json_safe(v) for k, v in self.metrics.items()}
+        self.spans = tuple(
+            (str(n), str(a), str(p), int(s), int(e))
+            for n, a, p, s, e in self.spans
+        )
+
+    # ------------------------------------------------------------ identity
+    def cache_key(self) -> str:
+        """Digest identifying this record's sweep point (not its outcome):
+        (code version, experiment, config hash, params)."""
+        return make_cache_key(self.experiment, self.params,
+                              self.config_fingerprint, self.code_version)
+
+    def fingerprint(self) -> str:
+        """Digest of the record's full content (outcome included)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        return canonical_json({
+            "experiment": self.experiment,
+            "params": self.params,
+            "config_fingerprint": self.config_fingerprint,
+            "metrics": self.metrics,
+            "hazards": self.hazards,
+            "spans": [list(s) for s in self.spans],
+            "code_version": self.code_version,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        doc = json.loads(text)
+        return cls(
+            experiment=doc["experiment"],
+            params=doc["params"],
+            config_fingerprint=doc["config_fingerprint"],
+            metrics=doc["metrics"],
+            hazards=doc["hazards"],
+            spans=tuple(tuple(s) for s in doc["spans"]),
+            code_version=doc["code_version"],
+        )
+
+
+def make_cache_key(experiment: str, params: Mapping[str, Any],
+                   config_fp: str, code_version: str = __version__) -> str:
+    digest = hashlib.sha256(canonical_json({
+        "experiment": experiment,
+        "params": json_safe(dict(params)),
+        "config": config_fp,
+        "version": code_version,
+    }).encode())
+    return digest.hexdigest()

@@ -1,0 +1,100 @@
+"""Declarative parameter sweeps with process-parallel execution.
+
+A :class:`Sweep` names an :class:`~repro.runtime.experiment.Experiment`
+and either a parameter ``grid`` (cartesian product, first key varies
+slowest) or an explicit ``points`` list.  :meth:`Sweep.run` executes every
+point and returns records **in point order** regardless of ``jobs``: the
+simulator is deterministic pure Python, each point runs in isolation, and
+``Pool.map`` preserves input order -- so parallel output is bit-identical
+to serial.  Points already present in the optional
+:class:`~repro.runtime.cache.ResultCache` are not re-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig, default_config
+from repro.runtime.cache import ResultCache
+from repro.runtime.experiment import Experiment
+from repro.runtime.record import RunRecord, config_fingerprint
+
+__all__ = ["Sweep", "run_sweep"]
+
+
+def _run_point(task: Tuple[Experiment, Dict[str, Any], SystemConfig]) -> RunRecord:
+    """Module-level worker so tasks pickle under any start method."""
+    experiment, params, config = task
+    return experiment.run(params, config)
+
+
+@dataclass
+class Sweep:
+    """One experiment swept over a parameter grid (or explicit points)."""
+
+    experiment: Experiment
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: Parameters shared by every point (overridden by grid/point values).
+    base: Mapping[str, Any] = field(default_factory=dict)
+    #: Explicit sweep points; when given, ``grid`` is ignored.
+    points: Optional[Sequence[Mapping[str, Any]]] = None
+
+    def sweep_points(self) -> List[Dict[str, Any]]:
+        """The fully-resolved point list, in deterministic order."""
+        if self.points is not None:
+            return [{**self.base, **dict(p)} for p in self.points]
+        keys = list(self.grid)
+        out = []
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            point = dict(self.base)
+            point.update(zip(keys, combo))
+            out.append(point)
+        return out
+
+    def run(self, config: Optional[SystemConfig] = None, jobs: int = 1,
+            cache: Optional[ResultCache] = None) -> List[RunRecord]:
+        """Execute the sweep; returns one record per point, in point order."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        config = config or default_config()
+        cfg_fp = config_fingerprint(config)
+        points = self.sweep_points()
+        records: List[Optional[RunRecord]] = [None] * len(points)
+
+        pending: List[int] = []
+        for i, point in enumerate(points):
+            hit = cache.get(self.experiment.name,
+                            self.experiment.resolve_params(point),
+                            cfg_fp) if cache is not None else None
+            if hit is not None:
+                records[i] = hit
+            else:
+                pending.append(i)
+
+        if pending:
+            tasks = [(self.experiment, points[i], config) for i in pending]
+            if jobs > 1 and len(pending) > 1:
+                with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+                    fresh = pool.map(_run_point, tasks)
+            else:
+                fresh = [_run_point(t) for t in tasks]
+            for i, record in zip(pending, fresh):
+                records[i] = record
+                if cache is not None:
+                    cache.put(record)
+
+        return records  # type: ignore[return-value]
+
+
+def run_sweep(experiment: Experiment,
+              grid: Mapping[str, Sequence[Any]],
+              base: Optional[Mapping[str, Any]] = None,
+              config: Optional[SystemConfig] = None,
+              jobs: int = 1,
+              cache: Optional[ResultCache] = None) -> List[RunRecord]:
+    """One-shot convenience: build a :class:`Sweep` and run it."""
+    return Sweep(experiment, grid=grid, base=base or {}).run(
+        config=config, jobs=jobs, cache=cache)

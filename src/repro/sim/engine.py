@@ -101,8 +101,14 @@ class Event:
         self.sim._schedule_event(self, delay, priority)
         return self
 
-    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
-        """Trigger the event with an exception to be thrown into waiters."""
+    def fail(self, exception: BaseException, delay: int = 0,
+             priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters.
+
+        Accepts the same ``priority`` as :meth:`succeed` so failure paths
+        keep deterministic same-tick ordering relative to hardware-pipeline
+        events.
+        """
         if self._triggered:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
@@ -110,7 +116,7 @@ class Event:
         self._triggered = True
         self._value = exception
         self._ok = False
-        self.sim._schedule_event(self, delay)
+        self.sim._schedule_event(self, delay, priority)
         return self
 
     def _run_callbacks(self) -> None:

@@ -133,3 +133,14 @@ class Tracer:
         self.events.clear()
         self.spans.clear()
         self._open.clear()
+
+    # ---------------------------------------------------------------- export
+    def export_chrome(self, path):
+        """Write the timeline as Chrome trace-event JSON (Perfetto-loadable).
+
+        Thin convenience over :func:`repro.runtime.traceexport.export_chrome_trace`
+        (imported lazily: the runtime layer sits above the simulator).
+        """
+        from repro.runtime.traceexport import export_chrome_trace
+
+        return export_chrome_trace(self, path)

@@ -137,6 +137,32 @@ class TestEvent:
         with pytest.raises(SimulationError, match="ended before"):
             sim.run_until_event(ev)
 
+    def test_fail_priority_orders_same_tick(self):
+        """Regression: fail() accepts the same priority knob as succeed(),
+        so failure paths keep deterministic same-tick ordering."""
+        sim = Simulator()
+        order = []
+        ok = sim.event()
+        ok.callbacks.append(lambda e: order.append("normal-succeed"))
+        ok.succeed(delay=100)  # scheduled first at t=100, normal priority
+        bad = sim.event()
+        bad.callbacks.append(lambda e: order.append("urgent-fail"))
+        bad.fail(RuntimeError("modeled failure"), delay=100, priority=0)
+        sim.run()
+        assert order == ["urgent-fail", "normal-succeed"]
+
+    def test_fail_default_priority_is_fifo(self):
+        sim = Simulator()
+        order = []
+        a = sim.event()
+        a.callbacks.append(lambda e: order.append("fail"))
+        a.fail(RuntimeError("x"), delay=10)
+        b = sim.event()
+        b.callbacks.append(lambda e: order.append("succeed"))
+        b.succeed(delay=10)
+        sim.run()
+        assert order == ["fail", "succeed"]
+
 
 class TestConditions:
     def test_allof_waits_for_all(self):
