@@ -11,6 +11,13 @@ Usage::
 Results are cached on disk (``.repro-cache/`` by default, override with
 ``$REPRO_CACHE_DIR``) keyed by code version, configuration hash and sweep
 point, so re-rendering an exhibit is free once its runs exist.
+
+The ``validate`` subcommand runs the invariant-checking schedule fuzzer
+instead of an exhibit (see :mod:`repro.validate`)::
+
+    python -m repro validate                        # 100 seeds x 3 workloads
+    python -m repro validate --seeds 25 --jobs 4    # quicker, parallel
+    python -m repro validate --workloads jacobi --fail-fast --json out.json
 """
 
 from __future__ import annotations
@@ -47,7 +54,70 @@ _SWEEPING = {"fig1", "fig9", "fig10", "fig11"}
 _TRACEABLE = {"fig8"}
 
 
+def _validate_main(argv) -> int:
+    from repro.validate import FUZZ_WORKLOADS, run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro validate",
+        description="Fuzz event schedules and timing knobs over the paper's "
+                    "workloads with every DESIGN.md §6 invariant monitor "
+                    "armed.  Any failure replays from its (workload, seed) "
+                    "pair alone.")
+    parser.add_argument("--seeds", type=int, default=100, metavar="N",
+                        help="fuzz cases per workload (default: 100)")
+    parser.add_argument("--seed-start", type=int, default=0, metavar="S",
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--workloads", nargs="+", choices=list(FUZZ_WORKLOADS),
+                        default=list(FUZZ_WORKLOADS), metavar="W",
+                        help=f"subset of {list(FUZZ_WORKLOADS)} (default: all)")
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (results identical to -j 1)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop scheduling new batches after the first "
+                             "failing case")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full campaign report as JSON")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    report = run_campaign(workloads=args.workloads, seeds=args.seeds,
+                          seed_start=args.seed_start, jobs=args.jobs,
+                          fail_fast=args.fail_fast)
+    for workload, (passed, total) in sorted(report.by_workload().items()):
+        marker = "ok  " if passed == total else "FAIL"
+        print(f"{marker} {workload:<12} {passed}/{total} cases clean")
+    for record in report.failures:
+        m = record.metrics
+        print(f"\nFAIL {m['workload']} seed={m['seed']} "
+              f"params={m['inner_params']} knobs={m['knobs']}")
+        if m["violation"]:
+            v = m["violation"]
+            print(f"  [{v['invariant']}] {v['message']}")
+            for line in v.get("context", ()):
+                print(f"    {line}")
+        if m["crash"]:
+            print(f"  crash: {m['crash']}")
+        print(f"  replay: python -m repro validate --workloads "
+              f"{m['workload']} --seeds 1 --seed-start {m['seed']}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    total_failed = len(report.failures)
+    print(f"\n{report.total - total_failed}/{report.total} cases clean"
+          + (f", {total_failed} FAILED" if total_failed else ""))
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["validate"]:
+        return _validate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits from 'GPU Triggered Networking for "

@@ -124,20 +124,32 @@ class KernelContext:
 
     # ------------------------------------------------------- memory model
     def fence_release_system(self, *buffers: Buffer) -> Event:
-        """System-scope release fence: publish writes to CPU/NIC."""
+        """System-scope release fence: publish writes to CPU/NIC.
+
+        The publish is a callback on the fence's own completion event --
+        not a sibling event at the same tick -- so it is program-ordered
+        before anything the fence unblocks under *every* legal same-tick
+        event ordering (the schedule fuzzer explores them all).
+        """
         delay = self.config.gpu.fence_system_ns
         bufs = list(buffers) or None
-        self.sim.schedule(delay, self.gpu.mem.release, self.sim.now + delay,
-                          Agent.GPU, Scope.SYSTEM, bufs)
-        return self.sim.timeout(delay)
+        ev = self.sim.timeout(delay)
+        ev.callbacks.append(lambda _ev: self.gpu.mem.release(
+            self.sim.now, Agent.GPU, Scope.SYSTEM, bufs))
+        return ev
 
     def fence_acquire_system(self, *buffers: Buffer) -> Event:
-        """System-scope acquire fence: observe CPU/NIC writes."""
+        """System-scope acquire fence: observe CPU/NIC writes.
+
+        As with the release direction, the acquire happens atomically with
+        the fence event itself, ahead of the resumed kernel's next load.
+        """
         delay = self.config.gpu.fence_system_ns
         bufs = list(buffers) or None
-        self.sim.schedule(delay, self.gpu.mem.acquire, self.sim.now + delay,
-                          Agent.GPU, Scope.SYSTEM, bufs)
-        return self.sim.timeout(delay)
+        ev = self.sim.timeout(delay)
+        ev.callbacks.append(lambda _ev: self.gpu.mem.acquire(
+            self.sim.now, Agent.GPU, Scope.SYSTEM, bufs))
+        return ev
 
     # --------------------------------------------------------- triggering
     def store_trigger(self, tag: int, nic=None) -> Event:

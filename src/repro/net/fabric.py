@@ -69,6 +69,10 @@ class Fabric:
         self._rx_handlers: Dict[str, List[Callable[[DeliveredMessage], None]]] = {
             n: [] for n in topology.nodes
         }
+        #: Validation probes: called at transmit time with
+        #: ``(msg, sent_at, egress_end, delivered_at)`` -- the attachment
+        #: point for :mod:`repro.validate` fabric-ordering monitors.
+        self.probes: List[Callable[[Message, int, int, int], None]] = []
         self.stats = {"messages": 0, "bytes": 0}
 
     # ------------------------------------------------------------- handlers
@@ -114,6 +118,8 @@ class Fabric:
         self.sim.schedule(delivery_time - now, _deliver)
         self.stats["messages"] += 1
         self.stats["bytes"] += msg.nbytes
+        for probe in self.probes:
+            probe(msg, now, egress_end, delivery_time)
         return done
 
     # ------------------------------------------------------------ estimates

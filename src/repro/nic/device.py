@@ -118,8 +118,17 @@ class Nic:
         self._active_overrides: Optional[Dict[str, Any]] = None
 
         fabric.register_rx(node, self._handle_rx)
+        # Validation probes: called with (kind, handle, now) for kinds
+        # "send-dma-read" (payload captured off the send buffer) and
+        # "local-complete" (buffer-reusable flag raised) -- the attachment
+        # point for repro.validate completion-safety monitors.
+        self.probes: List[Callable[[str, PutHandle, int], None]] = []
         self.stats = {"tx_ops": 0, "rx_puts": 0, "rx_sends": 0, "rx_gets": 0,
                       "doorbells": 0, "trigger_writes": 0}
+
+    def _emit(self, kind: str, handle: "PutHandle") -> None:
+        for probe in self.probes:
+            probe(kind, handle, self.sim.now)
 
     # ------------------------------------------------------------ MMIO side
     @property
@@ -398,6 +407,8 @@ class Nic:
             self.mem.record_read(self.sim.now, Agent.NIC, buf,
                                  lo=off, hi=off + op.nbytes)
         payload = self.space.dma_read(op.local_addr, op.nbytes) if op.nbytes else b""
+        if self.probes:
+            self._emit("send-dma-read", handle)
         kind = MessageKind.SEND if op.kind == "send" else MessageKind.PUT
         msg = Message(src=self.node, dst=op.target, nbytes=op.nbytes, kind=kind,
                       payload=payload, remote_addr=op.remote_addr,
@@ -422,6 +433,8 @@ class Nic:
         done.callbacks.append(_on_delivered)
 
     def _local_complete(self, handle: PutHandle) -> None:
+        if self.probes:
+            self._emit("local-complete", handle)
         if handle.local_flag is not None:
             buf, off = handle.local_flag
             buf.view(dtype="uint32", count=1, offset=off)[0] = 1

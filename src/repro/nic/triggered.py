@@ -90,7 +90,15 @@ class TriggerList:
         self.lookup = lookup
         self.on_fire = on_fire
         self.fired_log: List[TriggerEntry] = []
+        #: Validation observers: called with ``(kind, entry)`` for kinds
+        #: ``"register"``, ``"trigger"`` and ``"fire"`` -- the attachment
+        #: point for :mod:`repro.validate` exactly-once monitors.
+        self.observers: List[Callable[[str, "TriggerEntry"], None]] = []
         self.stats = {"registered": 0, "triggers": 0, "placeholders": 0, "fired": 0}
+
+    def _notify(self, kind: str, entry: "TriggerEntry") -> None:
+        for observer in self.observers:
+            observer(kind, entry)
 
     def __len__(self) -> int:
         return len(self.lookup)
@@ -117,6 +125,7 @@ class TriggerList:
             entry = TriggerEntry(tag=tag, op=op, threshold=threshold)
             self.lookup.insert(entry)
         self.stats["registered"] += 1
+        self._notify("register", entry)
         if entry.ready:
             self._fire(entry)
         return entry
@@ -135,6 +144,7 @@ class TriggerList:
             self.stats["placeholders"] += 1
         entry.counter += 1
         self.stats["triggers"] += 1
+        self._notify("trigger", entry)
         if entry.ready:
             self._fire(entry)
         return entry
@@ -145,6 +155,7 @@ class TriggerList:
         entry.fired = True
         self.fired_log.append(entry)
         self.stats["fired"] += 1
+        self._notify("fire", entry)
         self.on_fire(entry)
 
     def free(self, entry: TriggerEntry) -> None:

@@ -95,12 +95,21 @@ class Experiment:
 
     def execute(self, params: Optional[Dict[str, Any]] = None,
                 config: Optional[SystemConfig] = None,
-                trace: Optional[bool] = None) -> Execution:
-        """Run the full lifecycle once; returns record + raw + cluster."""
+                trace: Optional[bool] = None,
+                instrument: Optional[Any] = None) -> Execution:
+        """Run the full lifecycle once; returns record + raw + cluster.
+
+        ``instrument`` is an optional callable invoked with the freshly
+        built cluster before :meth:`setup` -- the hook
+        :mod:`repro.validate` uses to arm invariant monitors and seed
+        schedule fuzzing without the experiment knowing about either.
+        """
         p = self.resolve_params(params)
         cfg = self.configure(p, config or default_config())
         do_trace = self.trace_default(p) if trace is None else trace
         cluster = self.build_cluster(p, cfg, do_trace)
+        if instrument is not None:
+            instrument(cluster)
         ctx = self.setup(cluster, p)
         self.drive(cluster, ctx, p)
         for proc in ctx.get("procs", ()):

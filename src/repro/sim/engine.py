@@ -6,15 +6,21 @@ and triggered-operation race tests: the paper's relaxed-synchronization
 semantics (Section 3.2) are only meaningful if the simulator resolves
 CPU-registration vs. GPU-trigger races deterministically.
 
-The scheduler orders events by ``(time, priority, sequence)`` where
-``sequence`` is a monotone insertion counter, so same-time events fire in
-FIFO order.  ``priority`` is rarely needed but lets hardware models (e.g.
-the NIC command processor) drain their queues before same-tick user logic.
+The scheduler orders events by ``(time, priority, tiebreak, sequence)``
+where ``sequence`` is a monotone insertion counter, so same-time events
+fire in FIFO order.  ``priority`` is rarely needed but lets hardware
+models (e.g. the NIC command processor) drain their queues before
+same-tick user logic.  ``tiebreak`` is 0 in normal operation; the
+:mod:`repro.validate` schedule fuzzer seeds it (:meth:`Simulator.
+seed_tiebreaks`) to explore alternative legal orderings of same-time,
+same-priority events, and invariant monitors observe every pop through
+:meth:`Simulator.add_step_probe`.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -57,7 +63,8 @@ class Event:
     events by ``yield``-ing them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed",
+                 "name", "_sched_seq")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -67,6 +74,9 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        #: Insertion counter stamped by the scheduler -- the ground truth
+        #: the FIFO-tie-break invariant monitor checks pop order against.
+        self._sched_seq = 0
 
     # ------------------------------------------------------------------ state
     @property
@@ -218,9 +228,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: list[tuple[int, int, int, Event]] = []
+        self._heap: list[tuple[int, int, int, int, Event]] = []
         self._seq: int = 0
         self._running = False
+        self._tiebreak_rng: Optional[random.Random] = None
+        self._step_probes: list[Callable[[int, int, int, int, Event], None]] = []
 
     # -------------------------------------------------------------- clock/api
     @property
@@ -258,12 +270,33 @@ class Simulator:
         ev.callbacks.append(lambda _ev: callback(*args))
         return ev
 
+    # ------------------------------------------------------- validation hooks
+    def add_step_probe(self, probe: Callable[[int, int, int, int, Event], None]) -> None:
+        """Register an observer called on every :meth:`step` with the popped
+        heap key ``(time, priority, tiebreak, sequence)`` and the event,
+        *before* the event's callbacks run.  Probes are the attachment
+        point for :mod:`repro.validate` runtime monitors; they must be
+        O(1) and may raise to abort the run (fail-fast validation)."""
+        self._step_probes.append(probe)
+
+    def seed_tiebreaks(self, seed: int) -> None:
+        """Arm schedule fuzzing: subsequently scheduled events draw a
+        deterministic pseudo-random tie-break key, exploring alternative
+        legal orderings of same-``(time, priority)`` events.  The same
+        seed always produces the same schedule (``random.Random`` is
+        platform-stable), so any failure is replayable from the seed."""
+        self._tiebreak_rng = random.Random(seed)
+
     # ---------------------------------------------------------------- engine
     def _schedule_event(self, event: Event, delay: int, priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + int(delay), priority, self._seq, event))
+        event._sched_seq = self._seq
+        tiebreak = (self._tiebreak_rng.getrandbits(16)
+                    if self._tiebreak_rng is not None else 0)
+        heapq.heappush(self._heap,
+                       (self._now + int(delay), priority, tiebreak, self._seq, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
@@ -273,10 +306,13 @@ class Simulator:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, prio, tie, seq, event = heapq.heappop(self._heap)
         if t < self._now:  # pragma: no cover - guarded by _schedule_event
             raise SimulationError("event heap time went backwards")
         self._now = t
+        if self._step_probes:
+            for probe in self._step_probes:
+                probe(t, prio, tie, seq, event)
         event._run_callbacks()
 
     def run(self, until: Optional[int] = None) -> int:

@@ -1,0 +1,55 @@
+"""Invariant checking and schedule fuzzing (``repro validate``).
+
+DESIGN.md §6 lists the correctness invariants of the reproduction; this
+package enforces them at runtime and hunts for schedules that break them:
+
+* :mod:`~repro.validate.violations` -- structured
+  :class:`InvariantViolation` errors carrying time, node, details and the
+  offending trace context;
+* :mod:`~repro.validate.monitors` -- O(1)-per-event runtime monitors for
+  the event clock (inv. 1), exactly-once trigger firing (inv. 2), fabric
+  FIFO/bandwidth ordering (inv. 6) and send-buffer completion safety
+  (inv. 7), attached via hooks on the simulator, NICs and fabric;
+* :mod:`~repro.validate.fuzz` -- a deterministic schedule fuzzer that
+  perturbs timing knobs and event tie-breaks per seed and replays the
+  microbench/Jacobi/Allreduce flows with all monitors armed, fanned out
+  through :class:`~repro.runtime.sweep.Sweep` (``repro validate --jobs``).
+"""
+
+from repro.validate.fuzz import (
+    FUZZ_WORKLOADS,
+    FuzzCase,
+    FuzzReport,
+    ValidateExperiment,
+    apply_knobs,
+    fuzz_case,
+    run_campaign,
+)
+from repro.validate.monitors import (
+    ExactlyOnceTriggerMonitor,
+    FabricOrderMonitor,
+    Monitor,
+    MonotoneClockMonitor,
+    SendBufferSafetyMonitor,
+    attach_monitors,
+    default_monitors,
+)
+from repro.validate.violations import InvariantViolation
+
+__all__ = [
+    "ExactlyOnceTriggerMonitor",
+    "FUZZ_WORKLOADS",
+    "FabricOrderMonitor",
+    "FuzzCase",
+    "FuzzReport",
+    "InvariantViolation",
+    "Monitor",
+    "MonotoneClockMonitor",
+    "SendBufferSafetyMonitor",
+    "ValidateExperiment",
+    "apply_knobs",
+    "attach_monitors",
+    "default_monitors",
+    "fuzz_case",
+    "run_campaign",
+]

@@ -1,0 +1,87 @@
+"""Structured invariant-violation reporting.
+
+An :class:`InvariantViolation` is what every :mod:`repro.validate`
+runtime monitor raises: it names the DESIGN.md §6 invariant that broke,
+pins the simulation time and node, carries a machine-readable detail
+mapping, and snapshots the last few tracer events so a fuzz-campaign
+report localizes the offending schedule without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = ["InvariantViolation"]
+
+#: How many trailing tracer events a violation snapshots as context.
+_CONTEXT_EVENTS = 8
+
+
+class InvariantViolation(Exception):
+    """A runtime monitor observed a broken DESIGN.md §6 invariant.
+
+    Attributes mirror the constructor arguments; :meth:`to_dict` renders
+    the whole violation as JSON-safe scalars for fuzz reports.
+    """
+
+    def __init__(self, invariant: str, message: str, *,
+                 time: Optional[int] = None, node: Optional[str] = None,
+                 details: Optional[Dict[str, Any]] = None,
+                 context: Sequence[str] = ()):
+        self.invariant = invariant
+        self.message = message
+        self.time = time
+        self.node = node
+        self.details: Dict[str, Any] = dict(details or {})
+        self.context: Tuple[str, ...] = tuple(context)
+        super().__init__(self._headline())
+
+    def _headline(self) -> str:
+        where = []
+        if self.node is not None:
+            where.append(f"node={self.node}")
+        if self.time is not None:
+            where.append(f"t={self.time}ns")
+        suffix = f" [{' '.join(where)}]" if where else ""
+        return f"[{self.invariant}] {self.message}{suffix}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering for :class:`~repro.runtime.record.RunRecord`
+        metrics and CLI reports."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "time": self.time,
+            "node": self.node,
+            "details": {str(k): _scalar(v) for k, v in self.details.items()},
+            "context": list(self.context),
+        }
+
+    def report(self) -> str:
+        """Multi-line human-readable rendering (CLI failure output)."""
+        lines = [self._headline()]
+        for key in sorted(self.details):
+            lines.append(f"    {key} = {self.details[key]!r}")
+        if self.context:
+            lines.append("    trace context (most recent last):")
+            lines.extend(f"      {entry}" for entry in self.context)
+        return "\n".join(lines)
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    return repr(value)
+
+
+def trace_context(tracer) -> Tuple[str, ...]:
+    """The last few tracer events, formatted -- the ``context`` payload
+    monitors attach to violations (empty when tracing is off)."""
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return ()
+    events = tracer.events[-_CONTEXT_EVENTS:]
+    return tuple(
+        f"t={e.time} {e.node}/{e.actor} {e.phase}"
+        + (f" {e.detail}" if e.detail else "")
+        for e in events
+    )

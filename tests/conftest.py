@@ -5,10 +5,25 @@ this harness wires only sim + memory + fabric + NICs for the substrate
 tests, which keeps NIC unit tests independent of the GPU model.
 """
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List
 
 import pytest
+
+try:  # property tests need hypothesis; the rest of the suite does not
+    from hypothesis import settings as _hyp_settings
+
+    # "ci" is the default profile: derandomized (fixed seed) so CI runs are
+    # reproducible, with a bounded example budget and no wall-clock
+    # deadline (simulation-heavy properties are slow but deterministic).
+    # Developers can explore more schedules with HYPOTHESIS_PROFILE=dev.
+    _hyp_settings.register_profile("ci", derandomize=True, max_examples=50,
+                                   deadline=None)
+    _hyp_settings.register_profile("dev", max_examples=200, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 from repro.config import SystemConfig, default_config
 from repro.memory import AddressSpace, ScopedMemoryModel

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate the golden RunRecord fixtures under ``tests/golden/``.
+
+One command::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+The fixtures pin the paper's headline exhibits as canonical records --
+Figure 8's latency decomposition (GPU-TN ~2.71 us vs GDS ~3.76 us vs HDN
+~4.21 us target completion), a Figure 9 Jacobi point and Figure 10's
+8-node / 8 MiB Allreduce -- so any code change that shifts a simulated
+metric fails ``tests/test_golden_records.py`` with a field-level diff.
+Only regenerate after verifying the new numbers are *intended* (e.g. a
+deliberate timing-model change), and say why in the commit message.
+
+Span tables are stripped: fixtures pin metrics, not trace layout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: fixture name -> (experiment factory, params overlay)
+GOLDEN_POINTS = {
+    "microbench-gputn": ("microbench", {"strategy": "gputn"}),
+    "microbench-gds": ("microbench", {"strategy": "gds"}),
+    "microbench-hdn": ("microbench", {"strategy": "hdn"}),
+    "jacobi-gputn": ("jacobi", {"strategy": "gputn"}),
+    "allreduce-gputn": ("allreduce", {"strategy": "gputn", "n_nodes": 8}),
+    "allreduce-cpu": ("allreduce", {"strategy": "cpu", "n_nodes": 8}),
+    "allreduce-hdn": ("allreduce", {"strategy": "hdn", "n_nodes": 8}),
+}
+
+
+def _experiment(kind: str):
+    if kind == "microbench":
+        from repro.apps.microbench import MicrobenchExperiment
+        return MicrobenchExperiment()
+    if kind == "jacobi":
+        from repro.apps.jacobi import JacobiExperiment
+        return JacobiExperiment()
+    from repro.collectives import AllreduceExperiment
+    return AllreduceExperiment()
+
+
+def regenerate(only=None) -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, (kind, params) in GOLDEN_POINTS.items():
+        if only and name not in only:
+            continue
+        record = _experiment(kind).run(params=params)
+        record.spans = ()
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(record.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+
+
+if __name__ == "__main__":
+    regenerate(only=set(sys.argv[1:]) or None)
