@@ -18,6 +18,14 @@ instead of an exhibit (see :mod:`repro.validate`)::
     python -m repro validate                        # 100 seeds x 3 workloads
     python -m repro validate --seeds 25 --jobs 4    # quicker, parallel
     python -m repro validate --workloads jacobi --fail-fast --json out.json
+
+The ``faults`` subcommand runs seeded fault-injection campaigns with the
+go-back-N reliable transport armed (see :mod:`repro.faults`)::
+
+    python -m repro faults                          # 25 seeds x 3 workloads
+    python -m repro faults --seeds 10 --jobs 2      # CI smoke
+    python -m repro faults --workloads allreduce --fail-fast --json out.json
+    python -m repro faults --degraded               # goodput/p99 vs loss rate
 """
 
 from __future__ import annotations
@@ -114,10 +122,87 @@ def _validate_main(argv) -> int:
     return 0 if report.ok else 1
 
 
+def _faults_main(argv) -> int:
+    from repro.faults import FAULT_WORKLOADS, run_faults_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Run seeded fault-injection campaigns: per-seed "
+                    "drop/corruption/jitter/flap/stall scenarios on the "
+                    "fabric, the go-back-N reliable transport armed on "
+                    "every NIC, and all invariant monitors (including "
+                    "reliable-delivery) watching.  Any failure replays "
+                    "from its (workload, seed) pair alone.")
+    parser.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="fault cases per workload (default: 25)")
+    parser.add_argument("--seed-start", type=int, default=0, metavar="S",
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--workloads", nargs="+", choices=list(FAULT_WORKLOADS),
+                        default=list(FAULT_WORKLOADS), metavar="W",
+                        help=f"subset of {list(FAULT_WORKLOADS)} (default: all)")
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (results identical to -j 1)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop scheduling new batches after the first "
+                             "failing case")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full campaign report as JSON")
+    parser.add_argument("--degraded", action="store_true",
+                        help="instead of a campaign, run the degraded-mode "
+                             "study: goodput and p50/p99 latency per "
+                             "strategy across loss rates")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.degraded:
+        from repro.apps.degraded import degraded_report
+
+        degraded_report(jobs=args.jobs)
+        return 0
+
+    report = run_faults_campaign(workloads=args.workloads, seeds=args.seeds,
+                                 seed_start=args.seed_start, jobs=args.jobs,
+                                 fail_fast=args.fail_fast)
+    for workload, (passed, total) in sorted(report.by_workload().items()):
+        marker = "ok  " if passed == total else "FAIL"
+        print(f"{marker} {workload:<12} {passed}/{total} cases clean")
+    if report.gave_up:
+        print(f"note: {len(report.gave_up)} case(s) exhausted the retry "
+              "budget and died cleanly with TransportError (still a pass)")
+    for record in report.failures:
+        m = record.metrics
+        print(f"\nFAIL {m['workload']} seed={m['seed']} "
+              f"params={m['inner_params']} faults={m['faults']}")
+        if m["violation"]:
+            v = m["violation"]
+            print(f"  [{v['invariant']}] {v['message']}")
+            for line in v.get("context", ()):
+                print(f"    {line}")
+        if m["crash"]:
+            print(f"  crash: {m['crash']}")
+        print(f"  replay: python -m repro faults --workloads "
+              f"{m['workload']} --seeds 1 --seed-start {m['seed']}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    total_failed = len(report.failures)
+    print(f"\n{report.total - total_failed}/{report.total} cases clean"
+          + (f", {total_failed} FAILED" if total_failed else ""))
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["validate"]:
         return _validate_main(argv[1:])
+    if argv[:1] == ["faults"]:
+        return _faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits from 'GPU Triggered Networking for "

@@ -8,11 +8,19 @@
 * :mod:`~repro.apps.allreduce_bench` -- the Section 5.4.1 ring Allreduce
   strong-scaling study (Figure 10);
 * :mod:`~repro.apps.deeplearning` -- the Section 5.4.2 deep-learning
-  projection (Table 3 workloads, Figure 11).
+  projection (Table 3 workloads, Figure 11);
+* :mod:`~repro.apps.degraded` -- strategy goodput and tail latency under
+  packet loss with the reliable transport recovering
+  (``python -m repro faults --degraded``).
 """
 
 from repro.apps.allreduce_bench import run_allreduce, strong_scaling_study
 from repro.apps.deeplearning import WORKLOADS, project_deep_learning
+from repro.apps.degraded import (
+    DegradedExperiment,
+    degraded_report,
+    run_degraded_sweep,
+)
 from repro.apps.jacobi import (
     JacobiExperiment,
     JacobiResult,
@@ -27,16 +35,19 @@ from repro.apps.microbench import (
 )
 
 __all__ = [
+    "DegradedExperiment",
     "JacobiExperiment",
     "JacobiResult",
     "LaunchLatencyExperiment",
     "MicrobenchExperiment",
     "MicrobenchResult",
     "WORKLOADS",
+    "degraded_report",
     "jacobi_reference",
     "measure_launch_latency",
     "project_deep_learning",
     "run_allreduce",
+    "run_degraded_sweep",
     "run_jacobi",
     "run_microbenchmark",
     "strong_scaling_study",

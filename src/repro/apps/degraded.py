@@ -1,0 +1,196 @@
+"""Degraded-mode study: strategy throughput and tail latency under loss.
+
+The paper evaluates a lossless fabric; this study asks what its Figure 8
+comparison looks like when the network drops packets and the go-back-N
+reliable transport (:mod:`repro.nic.transport`) has to recover.  A
+two-node cluster streams ``messages`` back-to-back one-way transfers for
+one strategy with a seeded drop rate armed on the fabric, and reports
+
+* **goodput** -- application payload bytes over the stream's wall time
+  (retransmissions and ACKs burn bandwidth but deliver nothing new);
+* **p50/p99 latency** -- per-message initiation-to-target-observed time.
+  Loss shows up almost entirely in the tail: one retransmit timeout is
+  ~10x a clean delivery.
+
+Each message reuses the Section 5.2 microbenchmark flows
+(:mod:`repro.strategies.flows`), so GPU-TN / GDS / HDN keep exactly the
+initiation paths the paper compares; a run where the retry budget dies
+ends early with the structured ``gave_up`` outcome instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.config import FaultConfig, ReliabilityConfig, SystemConfig
+from repro.nic.transport import TransportError
+from repro.runtime import Experiment, ResultCache, Sweep
+from repro.sim import AnyOf
+from repro.strategies import get_flow
+
+__all__ = ["DEGRADED_LOSS_RATES", "DegradedExperiment", "degraded_report",
+           "run_degraded_sweep"]
+
+#: Loss-rate axis of the study (per-transmission drop probability).
+DEGRADED_LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05)
+
+#: Simulated-time ceiling per run; far beyond any recovery horizon.
+_LIMIT_NS = 50_000_000
+
+_PATTERN = 0xC3
+_BASE_WIRE_TAG = 0x600
+_BASE_TRIG_TAG = 0x51
+
+
+class DegradedExperiment(Experiment):
+    """A two-node message stream for one (strategy, loss rate) point.
+
+    Parameters: ``strategy``, ``loss`` (drop probability), ``nbytes``,
+    ``messages`` and ``seed`` (fault-plan stream).  The reliable
+    transport is armed at every point -- including ``loss=0``, so the
+    baseline pays the same ACK overhead the lossy points do.
+    """
+
+    name = "degraded"
+    defaults = {"strategy": "gputn", "loss": 0.0, "nbytes": 1024,
+                "messages": 64, "seed": 0}
+
+    def build_cluster(self, params: Dict[str, Any], config: SystemConfig,
+                      trace: bool) -> Cluster:
+        cluster = Cluster(n_nodes=2, config=config, trace=trace)
+        cluster.enable_reliability(ReliabilityConfig())
+        if params["loss"]:
+            # Offset the plan seed by the loss rate so adjacent sweep
+            # points draw decorrelated uniforms (same-seed streams would
+            # make 1% and 2% drop the exact same messages).
+            cluster.attach_faults(FaultConfig(drop_prob=float(params["loss"])),
+                                  rng=int(params["seed"])
+                                  + int(float(params["loss"]) * 10_000))
+        return cluster
+
+    def setup(self, cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
+        outcome: Dict[str, Any] = {"latencies": [], "delivered": 0,
+                                   "gave_up": False, "span_ns": 0}
+        driver = cluster.spawn(
+            self._stream(cluster, params, outcome), name="degraded-stream")
+        return {"procs": [driver], "outcome": outcome}
+
+    def _stream(self, cluster: Cluster, params: Dict[str, Any],
+                outcome: Dict[str, Any]):
+        strategy = params["strategy"]
+        nbytes = int(params["nbytes"])
+        initiator, target = cluster[0], cluster[1]
+        init_fn, target_fn = get_flow(strategy)
+        one_sided = strategy in ("gds", "gputn", "gpu-host", "gpu-native")
+        send_buf = initiator.host.alloc(nbytes, name="deg-send")
+        recv_buf = target.host.alloc(nbytes, name="deg-recv")
+        remote_addr = recv_buf.addr() if one_sided else None
+        # The strategies' initiators only wait on *local* completion,
+        # which succeeds long before a retry budget can die -- watch the
+        # transport's give-up probe so a dead flow ends the stream
+        # instead of parking it on a starved receiver.
+        give_up_ev = cluster.sim.event("deg-give-up")
+        initiator.nic.transport.probes.append(
+            lambda kind, peer, seq, now: kind == "give-up"
+            and not give_up_ev.triggered and give_up_ev.succeed(now))
+        start = cluster.sim.now
+        for i in range(int(params["messages"])):
+            wire_tag = _BASE_WIRE_TAG + i
+            kwargs: Dict[str, Any] = {}
+            if strategy == "gputn":
+                kwargs["tag"] = _BASE_TRIG_TAG + i
+            t0 = cluster.sim.now
+            tproc = cluster.spawn(
+                target_fn(target, recv_buf, nbytes, wire_tag),
+                name=f"deg-target-{i}")
+            iproc = cluster.spawn(
+                init_fn(initiator, target.name, send_buf, nbytes, remote_addr,
+                        wire_tag, pattern=_PATTERN, **kwargs),
+                name=f"deg-init-{i}")
+            gave_up = False
+            try:
+                yield iproc
+                done = yield AnyOf(cluster.sim, [tproc, give_up_ev])
+                gave_up = tproc not in done
+                observed_at = done.get(tproc)
+            except TransportError:
+                gave_up = True
+            if gave_up:
+                # The retry budget died: end the stream as a structured
+                # outcome and reap whichever side is still parked.
+                outcome["gave_up"] = True
+                for proc in (tproc, iproc):
+                    if not proc.processed:
+                        proc.kill()
+                break
+            if strategy == "gputn":
+                # Reap the fired trigger entry: the associative lookup
+                # holds only 16 slots and a stream outlives that.
+                entry = initiator.nic.trigger_list.entry(kwargs["tag"])
+                if entry is not None:
+                    initiator.nic.trigger_list.free(entry)
+            outcome["latencies"].append(int(observed_at) - t0)
+            outcome["delivered"] += 1
+        outcome["span_ns"] = cluster.sim.now - start
+        return outcome["delivered"]
+
+    def drive(self, cluster: Cluster, ctx: Dict[str, Any],
+              params: Dict[str, Any]) -> None:
+        cluster.run(until=_LIMIT_NS)
+
+    def finish(self, cluster: Cluster, ctx: Dict[str, Any],
+               params: Dict[str, Any]):
+        outcome = ctx["outcome"]
+        latencies = outcome["latencies"]
+        goodput = (outcome["delivered"] * int(params["nbytes"])
+                   / outcome["span_ns"] if outcome["span_ns"] else 0.0)
+        metrics: Dict[str, Any] = {
+            "strategy": params["strategy"],
+            "loss": params["loss"],
+            "delivered": outcome["delivered"],
+            "requested": params["messages"],
+            "gave_up": outcome["gave_up"],
+            "span_ns": outcome["span_ns"],
+            "goodput_bytes_per_us": round(goodput * 1_000, 3),
+            "p50_latency_ns": int(np.percentile(latencies, 50)) if latencies else None,
+            "p99_latency_ns": int(np.percentile(latencies, 99)) if latencies else None,
+            "max_latency_ns": max(latencies) if latencies else None,
+        }
+        return metrics, dict(outcome)
+
+
+def run_degraded_sweep(strategies: Sequence[str] = ("gputn", "gds", "hdn"),
+                       losses: Sequence[float] = DEGRADED_LOSS_RATES,
+                       messages: int = 64, nbytes: int = 1024, seed: int = 0,
+                       jobs: int = 1, cache: Optional[ResultCache] = None,
+                       config: Optional[SystemConfig] = None):
+    """The full (strategy x loss) grid as RunRecords."""
+    points = [{"strategy": s, "loss": loss, "messages": messages,
+               "nbytes": nbytes, "seed": seed}
+              for s in strategies for loss in losses]
+    return Sweep(DegradedExperiment(), points=points).run(
+        config=config, jobs=jobs, cache=cache)
+
+
+def degraded_report(jobs: int = 1, cache: Optional[ResultCache] = None,
+                    config: Optional[SystemConfig] = None) -> List[str]:
+    """Render the study as text rows (also printed): per loss rate, each
+    strategy's goodput and latency percentiles."""
+    records = run_degraded_sweep(jobs=jobs, cache=cache, config=config)
+    rows = [f"{'loss':>6}  {'strategy':<6} {'delivered':>9} "
+            f"{'goodput B/us':>12} {'p50 us':>8} {'p99 us':>8}"]
+    for r in records:
+        m = r.metrics
+        p50 = f"{m['p50_latency_ns'] / 1000:.2f}" if m["p50_latency_ns"] else "-"
+        p99 = f"{m['p99_latency_ns'] / 1000:.2f}" if m["p99_latency_ns"] else "-"
+        note = "  (gave up)" if m["gave_up"] else ""
+        rows.append(f"{m['loss']:>6.2%}  {m['strategy']:<6} "
+                    f"{m['delivered']:>4}/{m['requested']:<4} "
+                    f"{m['goodput_bytes_per_us']:>12.3f} {p50:>8} {p99:>8}"
+                    f"{note}")
+    for row in rows:
+        print(row)
+    return rows

@@ -101,6 +101,37 @@ class Cluster:
     def run(self, until: Optional[int] = None) -> int:
         return self.sim.run(until=until)
 
+    # --------------------------------------------------------- reliability
+    def enable_reliability(self, config=None) -> None:
+        """Arm the go-back-N reliable transport on every node's NIC
+        (see :meth:`repro.nic.Nic.enable_reliability`)."""
+        for node in self.nodes:
+            node.nic.enable_reliability(config)
+
+    def attach_faults(self, fault_config, rng=None):
+        """Build a seeded :class:`repro.faults.FaultPlan` from
+        ``fault_config`` and install it on the fabric; returns the plan."""
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan(fault_config, rng=rng).attach(self.fabric)
+
+    def transport_counters(self) -> Dict[str, int]:
+        """Merged reliability/fault counters across the cluster, ``{}``
+        when nothing is armed (so plain RunRecords stay byte-identical)."""
+        merged: Dict[str, int] = {}
+        for node in self.nodes:
+            transport = node.nic.transport
+            if transport is None:
+                continue
+            for key, val in transport.stats.items():
+                if val:
+                    merged[key] = merged.get(key, 0) + val
+        plan = self.fabric.interposer
+        if plan is not None and hasattr(plan, "counters"):
+            for key, val in plan.counters().items():
+                merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0) + val
+        return merged
+
     # ------------------------------------------------------------ analysis
     def total_hazards(self) -> int:
         """Memory-model hazards across all nodes (should be 0 for correct

@@ -219,14 +219,21 @@ def _gds_rank(state: _RingRank, peers: Dict[int, Node], iters_unused=None):
     n_rounds = len(state.schedule.rounds)
     staged = yield from stage_send(0)
     prev_kernel = None
+    queued_bell = None  # newest doorbell routed through the GPU queue
     for rnd in range(n_rounds):
         parity = rnd & 1
         is_reduce = rnd < state.n_ranks - 1
         # Ring this round's send behind the kernel that produced its chunk.
-        if prev_kernel is None:
+        # A direct ring must never overtake a doorbell still sitting in the
+        # command queue (possible when bursty arrivals -- e.g. retransmit
+        # recovery -- let the host race ahead of a backed-up GPU): sends
+        # would leave in the wrong round order and the receiver's arrival
+        # counter would gate on the wrong round's data.
+        if prev_kernel is None and (queued_bell is None
+                                    or queued_bell.rung.triggered):
             node.nic.ring_doorbell(staged)
         else:
-            node.gpu.enqueue_doorbell(staged)
+            queued_bell = node.gpu.enqueue_doorbell(staged)
         if rnd + 1 < n_rounds:
             next_staged = yield from stage_send(rnd + 1)  # overlaps kernel
         # No kernel synchronize: doorbells are ordered by the command

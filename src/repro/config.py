@@ -27,16 +27,20 @@ for GPU-TN; target completion 2.71 us GPU-TN, 3.76 us GDS, 4.21 us HDN).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple
 
 __all__ = [
     "CacheConfig",
     "CpuConfig",
+    "FaultConfig",
     "GpuConfig",
     "KernelLatencyConfig",
+    "LinkFlap",
     "MemoryConfig",
     "NetworkConfig",
     "NicConfig",
+    "NicStall",
+    "ReliabilityConfig",
     "SystemConfig",
     "default_config",
     "US",
@@ -203,6 +207,122 @@ class NetworkConfig:
         if nbytes < 0:
             raise ValueError("negative message size")
         return int(round(nbytes / self.bytes_per_ns))
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """NIC reliable-transport engine (go-back-N with cumulative ACKs).
+
+    Deliberately *not* a :class:`SystemConfig` section: the golden
+    RunRecord fixtures fingerprint the whole SystemConfig tree, and the
+    reliability layer must be a pure add-on -- absent by default, armed
+    explicitly per cluster (:meth:`repro.cluster.Cluster.enable_reliability`
+    or :meth:`repro.nic.Nic.enable_reliability`).
+    """
+
+    #: Go-back-N send window per destination peer (outstanding messages).
+    window: int = 8
+    #: Wire size of ACK/NACK control packets (they consume real bandwidth).
+    ack_bytes: int = 32
+    #: Base retransmit timeout; doubles per retry (exponential backoff).
+    retransmit_timeout_ns: int = 20_000
+    #: Backoff multiplier applied per consecutive retry round.
+    backoff_factor: int = 2
+    #: Retry budget: after this many timeout/NACK-driven rounds without
+    #: progress, the peer link is declared dead and every outstanding and
+    #: future send to it fails with a structured ``TransportError``.
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.retransmit_timeout_ns <= 0:
+            raise ValueError("retransmit_timeout_ns must be positive")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_bytes < 0:
+            raise ValueError("ack_bytes must be >= 0")
+
+    def timeout_after_retries(self, retries: int) -> int:
+        """The armed timeout for retry round ``retries`` (0-based)."""
+        return self.retransmit_timeout_ns * self.backoff_factor ** retries
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """One link-outage window: ``node``'s link is down in [down_at, up_at)."""
+
+    node: str
+    down_at: int
+    up_at: int
+
+    def __post_init__(self) -> None:
+        if self.down_at < 0 or self.up_at <= self.down_at:
+            raise ValueError(f"invalid flap window [{self.down_at}, {self.up_at})")
+
+    def down(self, t: int) -> bool:
+        return self.down_at <= t < self.up_at
+
+
+@dataclass(frozen=True)
+class NicStall:
+    """One receive-side NIC stall: deliveries into ``node`` landing in
+    [start, end) are deferred to ``end`` (the rx pipeline is frozen)."""
+
+    node: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid stall window [{self.start}, {self.end})")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs consumed by :class:`repro.faults.FaultPlan`.
+
+    Like :class:`ReliabilityConfig`, this is not a SystemConfig section:
+    a cluster with no plan attached takes the exact pre-fault code path.
+    Probabilities are per *transmission* on the source link; per-link
+    overrides key on ``"src->dst"`` strings.
+    """
+
+    #: Per-message drop probability (0 disables).
+    drop_prob: float = 0.0
+    #: Per-message payload-corruption probability (CRC failure at the rx NIC).
+    corrupt_prob: float = 0.0
+    #: Max extra head-propagation jitter per message, drawn uniform [0, jitter].
+    jitter_ns: int = 0
+    #: Per-link ``"src->dst"`` drop-probability overrides.
+    link_drop: Tuple[Tuple[str, float], ...] = ()
+    #: Per-link ``"src->dst"`` corruption-probability overrides.
+    link_corrupt: Tuple[Tuple[str, float], ...] = ()
+    #: Link-outage windows (messages crossing a down link are lost).
+    flaps: Tuple[LinkFlap, ...] = ()
+    #: Receive-side NIC stall windows.
+    stalls: Tuple[NicStall, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, p in (("drop_prob", self.drop_prob),
+                        ("corrupt_prob", self.corrupt_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        for _, p in (*self.link_drop, *self.link_corrupt):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"per-link probability out of [0, 1]: {p}")
+        if self.jitter_ns < 0:
+            raise ValueError("jitter_ns must be >= 0")
+
+    @property
+    def armed(self) -> bool:
+        """Whether any injector can actually perturb a run."""
+        return bool(self.drop_prob or self.corrupt_prob or self.jitter_ns
+                    or any(p for _, p in self.link_drop)
+                    or any(p for _, p in self.link_corrupt)
+                    or self.flaps or self.stalls)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,37 @@
+"""Fault injection and reliability campaigns (``repro faults``).
+
+The core fabric (:mod:`repro.net.fabric`) is lossless; this package makes
+it misbehave on purpose and checks that the paper's protocols survive:
+
+* :mod:`~repro.faults.plan` -- :class:`FaultPlan`, a seeded composition
+  of injectors (per-link drop/corruption probability, head-propagation
+  jitter, deterministic link-flap outages, receive-side NIC stalls)
+  installed on a fabric through its interposer hook.  Unarmed plans are
+  behaviorally invisible, so golden fixtures stay byte-identical;
+* :mod:`~repro.faults.campaign` -- seeded campaigns that run the
+  microbench/Jacobi/Allreduce workloads with the go-back-N reliable
+  transport (:mod:`repro.nic.transport`) armed on every NIC, a per-seed
+  fault scenario on the fabric, and every invariant monitor watching --
+  fanned out through :class:`~repro.runtime.sweep.Sweep`
+  (``repro faults --jobs``).
+"""
+
+from repro.faults.campaign import (
+    FAULT_WORKLOADS,
+    FaultCase,
+    FaultsExperiment,
+    FaultsReport,
+    fault_case,
+    run_faults_campaign,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "FAULT_WORKLOADS",
+    "FaultCase",
+    "FaultPlan",
+    "FaultsExperiment",
+    "FaultsReport",
+    "fault_case",
+    "run_faults_campaign",
+]

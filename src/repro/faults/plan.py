@@ -1,0 +1,142 @@
+"""Seeded fault plans: the interposer the fabric consults per transmission.
+
+A :class:`FaultPlan` composes the injectors described by a
+:class:`repro.config.FaultConfig` -- probabilistic drop and corruption
+(global or per-link), uniform head-propagation jitter, deterministic
+link-flap outage windows, and receive-side NIC stalls -- into the two
+hooks :class:`repro.net.Fabric` exposes:
+
+* :meth:`on_transmit` returns one :class:`repro.net.FaultDecision` per
+  message, and
+* :meth:`adjust_delivery` defers deliveries landing inside a stall window.
+
+Determinism
+-----------
+
+All randomness comes from named child streams of one
+:class:`repro.sim.rng.RandomStreams` root: each (injector, link) pair
+draws from its own stream (``faults.drop.a->b``, ``faults.corrupt.a->b``,
+``faults.jitter.a->b``), so
+
+* the sequence of verdicts on a link depends only on the root seed and
+  the number of messages that link has carried -- never on traffic
+  elsewhere or on wall-clock scheduling, which is what makes serial and
+  process-parallel sweep executions byte-identical; and
+* arming one injector never perturbs another's draws.
+
+A plan built from an unarmed config (``FaultConfig()``) never draws and
+always answers with the shared no-fault verdict, so attaching it is
+behaviorally invisible -- the golden-fixture guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.config import FaultConfig
+from repro.net.fabric import NO_FAULT, Fabric, FaultDecision
+from repro.net.packet import Message
+from repro.sim.rng import RandomStreams
+
+__all__ = ["FaultPlan"]
+
+
+class FaultPlan:
+    """A seeded, composable set of fault injectors for one fabric."""
+
+    def __init__(self, config: FaultConfig,
+                 rng: Union[RandomStreams, int, None] = None):
+        self.config = config
+        if isinstance(rng, RandomStreams):
+            self.streams = rng
+        else:
+            self.streams = RandomStreams(0x5C17 if rng is None else rng)
+        self._link_drop: Dict[str, float] = dict(config.link_drop)
+        self._link_corrupt: Dict[str, float] = dict(config.link_corrupt)
+        self.fabric: Optional[Fabric] = None
+        #: Injector hit counters (fabric.stats stays {"messages", "bytes"}).
+        self.stats = {
+            "drops": 0,
+            "flap_drops": 0,
+            "corruptions": 0,
+            "jitter_msgs": 0,
+            "jitter_total_ns": 0,
+            "stall_deferrals": 0,
+            "stall_total_ns": 0,
+        }
+
+    # -------------------------------------------------------------- attach
+    def attach(self, fabric: Fabric) -> "FaultPlan":
+        """Install this plan as ``fabric``'s interposer."""
+        fabric.install_interposer(self)
+        self.fabric = fabric
+        return self
+
+    @property
+    def armed(self) -> bool:
+        return self.config.armed
+
+    # ----------------------------------------------------------- interposer
+    def on_transmit(self, msg: Message, now: int) -> FaultDecision:
+        """The per-transmission verdict (Fabric interposer hook)."""
+        cfg = self.config
+        link = f"{msg.src}->{msg.dst}"
+
+        # Link flaps are deterministic outages: a message entering the
+        # wire while either endpoint's link is down is simply lost.
+        for flap in cfg.flaps:
+            if flap.node in (msg.src, msg.dst) and flap.down(now):
+                self.stats["drops"] += 1
+                self.stats["flap_drops"] += 1
+                return FaultDecision(drop=True)
+
+        p_drop = self._link_drop.get(link, cfg.drop_prob)
+        if p_drop > 0.0:
+            if self.streams.stream(f"faults.drop.{link}").random() < p_drop:
+                self.stats["drops"] += 1
+                return FaultDecision(drop=True)
+
+        corrupt = False
+        p_corrupt = self._link_corrupt.get(link, cfg.corrupt_prob)
+        if p_corrupt > 0.0:
+            corrupt = bool(
+                self.streams.stream(f"faults.corrupt.{link}").random() < p_corrupt)
+            if corrupt:
+                self.stats["corruptions"] += 1
+
+        extra = 0
+        if cfg.jitter_ns > 0:
+            extra = int(self.streams.stream(f"faults.jitter.{link}")
+                        .integers(0, cfg.jitter_ns + 1))
+            if extra:
+                self.stats["jitter_msgs"] += 1
+                self.stats["jitter_total_ns"] += extra
+
+        if not corrupt and extra == 0:
+            return NO_FAULT
+        return FaultDecision(corrupt=corrupt, extra_delay_ns=extra)
+
+    def adjust_delivery(self, dst: str, t: int) -> int:
+        """Defer a delivery landing inside one of ``dst``'s stall windows
+        (Fabric interposer hook).  Windows may overlap; the message pops
+        out once every covering window has ended."""
+        deferred = t
+        moved = True
+        while moved:
+            moved = False
+            for stall in self.config.stalls:
+                if stall.node == dst and stall.start <= deferred < stall.end:
+                    deferred = stall.end
+                    moved = True
+        if deferred != t:
+            self.stats["stall_deferrals"] += 1
+            self.stats["stall_total_ns"] += deferred - t
+        return deferred
+
+    # ------------------------------------------------------------- reporting
+    def counters(self) -> Dict[str, int]:
+        """Non-zero injector counters (for RunRecord / reports)."""
+        return {k: v for k, v in self.stats.items() if v}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(armed={self.armed}, stats={self.counters()})"

@@ -15,8 +15,9 @@ General topologies (multi-switch paths, built on ``networkx``) are
 supported for extension studies; per-hop latencies add along the path.
 """
 
-from repro.net.fabric import DeliveredMessage, Fabric
+from repro.net.fabric import DeliveredMessage, Fabric, FaultDecision
 from repro.net.packet import Message
 from repro.net.topology import StarTopology, Topology
 
-__all__ = ["DeliveredMessage", "Fabric", "Message", "StarTopology", "Topology"]
+__all__ = ["DeliveredMessage", "Fabric", "FaultDecision", "Message",
+           "StarTopology", "Topology"]

@@ -14,6 +14,22 @@ Timing model (see package docstring): for a message of ``n`` bytes,
 This reproduces the uncontended latency ``ser(n) + 2*link + switch`` of
 the paper's star while serializing concurrent senders at the endpoints --
 the only contention points of a star with a non-blocking switch.
+
+Fault interposition
+-------------------
+
+The fabric is lossless by construction.  :mod:`repro.faults` makes it
+misbehave *without touching the timing model* through two hooks:
+
+* an :meth:`install_interposer`-registered object is consulted once per
+  transmission and may drop the message, flag it corrupted, add head
+  propagation jitter, or defer its delivery (NIC rx stall).  With no
+  interposer installed -- the default -- ``transmit`` takes the exact
+  pre-fault code path.
+* :meth:`register_rx_filter` handlers run at delivery time *before* the
+  node's rx handlers and may consume the message (return ``False``),
+  which also suppresses the delivery event -- the attachment point for
+  the reliable transport's sequencing/dedup/ACK logic.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ from repro.net.packet import Message
 from repro.net.topology import Topology
 from repro.sim import Event, Simulator, Tracer
 
-__all__ = ["DeliveredMessage", "Fabric"]
+__all__ = ["DeliveredMessage", "Fabric", "FaultDecision"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +52,26 @@ class DeliveredMessage:
     message: Message
     sent_at: int       # entered the source egress queue
     delivered_at: int  # last byte in destination memory
+    #: Payload failed the receive-side CRC (fault injection); reliable
+    #: transports NACK and discard, plain NICs count and discard.
+    corrupted: bool = False
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One interposer verdict for one transmission."""
+
+    drop: bool = False
+    corrupt: bool = False
+    extra_delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.extra_delay_ns < 0:
+            raise ValueError(f"negative fault delay {self.extra_delay_ns}")
+
+
+#: The no-fault verdict (shared: decisions are immutable).
+NO_FAULT = FaultDecision()
 
 
 class _Port:
@@ -69,9 +105,20 @@ class Fabric:
         self._rx_handlers: Dict[str, List[Callable[[DeliveredMessage], None]]] = {
             n: [] for n in topology.nodes
         }
+        self._rx_filters: Dict[str, List[Callable[[DeliveredMessage], bool]]] = {
+            n: [] for n in topology.nodes
+        }
+        #: Fault interposer (:class:`repro.faults.FaultPlan` attachment);
+        #: ``None`` keeps the fabric perfectly lossless.
+        self.interposer = None
+        #: Per-node transport registry: reliable transports announce
+        #: themselves here so a receiver can complete the sender's
+        #: oracle delivery event (see :mod:`repro.nic.transport`).
+        self.transports: Dict[str, object] = {}
         #: Validation probes: called at transmit time with
         #: ``(msg, sent_at, egress_end, delivered_at)`` -- the attachment
         #: point for :mod:`repro.validate` fabric-ordering monitors.
+        #: Dropped transmissions are not probed (they never deliver).
         self.probes: List[Callable[[Message, int, int, int], None]] = []
         self.stats = {"messages": 0, "bytes": 0}
 
@@ -81,6 +128,20 @@ class Fabric:
         self.topology.index(node)
         self._rx_handlers[node].append(handler)
 
+    def register_rx_filter(self, node: str,
+                           fltr: Callable[[DeliveredMessage], bool]) -> None:
+        """Interpose ``fltr`` ahead of ``node``'s rx handlers.  A filter
+        returning ``False`` consumes the delivery: handlers do not run and
+        the transmit event never fires."""
+        self.topology.index(node)
+        self._rx_filters[node].append(fltr)
+
+    def install_interposer(self, interposer) -> None:
+        """Attach a fault interposer (at most one; see module docstring)."""
+        if self.interposer is not None:
+            raise RuntimeError("fabric already has a fault interposer")
+        self.interposer = interposer
+
     # --------------------------------------------------------------- sending
     def transmit(self, msg: Message) -> Event:
         """Inject ``msg`` at its source now; returns the delivery event.
@@ -88,27 +149,52 @@ class Fabric:
         The event fires at the destination's delivery time with the
         :class:`DeliveredMessage`; registered rx handlers at the
         destination run at the same instant (before event waiters, since
-        handler dispatch is part of the delivery callback).
+        handler dispatch is part of the delivery callback).  If a fault
+        interposer drops the message, or an rx filter consumes it, the
+        event never fires.
         """
         now = self.sim.now
         self.topology.index(msg.src)
         self.topology.index(msg.dst)
         ser = self.net.serialization_ns(msg.nbytes)
         head_lat = self.topology.path_latency_ns(msg.src, msg.dst)
+        verdict = (self.interposer.on_transmit(msg, now)
+                   if self.interposer is not None else NO_FAULT)
 
+        # The sender spends the egress bandwidth whether or not the
+        # message survives the wire.
         _, egress_end = self._egress[msg.src].reserve(now, ser)
-        # Head reaches the destination port once it propagates the path;
-        # it cannot enter the wire before its turn at the egress port.
-        head_at_ingress = egress_end - ser + head_lat
-        _, ingress_end = self._ingress[msg.dst].reserve(now, ser, earliest=head_at_ingress)
-        delivery_time = ingress_end
-
         self.tracer.point(now, msg.src, "fabric", "tx",
                           msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
         done = self.sim.event(name=f"deliver:{msg.msg_id}")
-        delivered = DeliveredMessage(msg, sent_at=now, delivered_at=delivery_time)
+        self.stats["messages"] += 1
+        self.stats["bytes"] += msg.nbytes
+
+        if verdict.drop:
+            # Lost in the fabric: no ingress occupancy, no delivery, no
+            # probe -- the delivery event simply never fires.
+            self.tracer.point(now, msg.src, "fault", "drop",
+                              msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
+            return done
+
+        # Head reaches the destination port once it propagates the path;
+        # it cannot enter the wire before its turn at the egress port.
+        head_at_ingress = egress_end - ser + head_lat + verdict.extra_delay_ns
+        _, ingress_end = self._ingress[msg.dst].reserve(now, ser, earliest=head_at_ingress)
+        delivery_time = ingress_end
+        if self.interposer is not None:
+            # NIC rx stall windows defer delivery past port occupancy.
+            delivery_time = self.interposer.adjust_delivery(msg.dst, delivery_time)
+        delivered = DeliveredMessage(msg, sent_at=now, delivered_at=delivery_time,
+                                     corrupted=verdict.corrupt)
+        if verdict.corrupt:
+            self.tracer.point(now, msg.src, "fault", "corrupt",
+                              msg_id=msg.msg_id, dst=msg.dst)
 
         def _deliver() -> None:
+            for fltr in self._rx_filters[msg.dst]:
+                if not fltr(delivered):
+                    return
             self.tracer.point(self.sim.now, msg.dst, "fabric", "rx",
                               msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
             for handler in self._rx_handlers[msg.dst]:
@@ -116,8 +202,6 @@ class Fabric:
             done.succeed(delivered)
 
         self.sim.schedule(delivery_time - now, _deliver)
-        self.stats["messages"] += 1
-        self.stats["bytes"] += msg.nbytes
         for probe in self.probes:
             probe(msg, now, egress_end, delivery_time)
         return done

@@ -26,6 +26,12 @@ class MessageKind(str, enum.Enum):
     GET_REPLY = "get_reply"
     SEND = "send"          # two-sided send (HDN baseline)
     ACK = "ack"            # hardware-level put acknowledgment
+    NACK = "nack"          # reliable-transport gap/corruption report
+
+    @property
+    def is_control(self) -> bool:
+        """Control packets (ACK/NACK) are never sequenced or retransmitted."""
+        return self in (MessageKind.ACK, MessageKind.NACK)
 
 
 @dataclass
@@ -41,6 +47,11 @@ class Message:
     remote_addr: Optional[int] = None
     #: Two-sided match tag (sends) or triggered-op identity (puts).
     tag: Optional[int] = None
+    #: Reliable-transport sequence number within the (src, dst) flow --
+    #: stamped by :class:`repro.nic.transport.ReliableTransport` on data
+    #: messages; carries the cumulative/expected sequence on ACK/NACK.
+    #: ``None`` when the reliability layer is off (the default).
+    seq: Optional[int] = None
     meta: Dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
@@ -55,5 +66,6 @@ class Message:
             raise ValueError(f"message to self ({self.src}); use local copy instead")
 
     def __repr__(self) -> str:  # pragma: no cover
+        seq = f" seq={self.seq}" if self.seq is not None else ""
         return (f"<Message #{self.msg_id} {self.kind.value} {self.src}->{self.dst} "
-                f"{self.nbytes}B tag={self.tag}>")
+                f"{self.nbytes}B tag={self.tag}{seq}>")

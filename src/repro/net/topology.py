@@ -74,6 +74,13 @@ class GraphTopology(Topology):
     Node names are leaf endpoints; other graph vertices are switches.
     Edge attribute ``latency_ns`` (default ``link_latency_ns``) is the link
     propagation time; each intermediate vertex adds ``switch_latency_ns``.
+
+    The graph is **copied and frozen at construction**: shortest paths are
+    cached on first use, so later mutation of the caller's graph (or of
+    ``self.graph``) could silently desynchronize the cache -- exactly the
+    hazard link-flap fault injection would trip.  Outages are modeled by
+    :mod:`repro.faults` on top of an immutable topology, never by editing
+    edges.
     """
 
     def __init__(self, graph, endpoints: Sequence[str], link_latency_ns: int = 100,
@@ -84,7 +91,10 @@ class GraphTopology(Topology):
         for n in endpoints:
             if n not in graph:
                 raise ValueError(f"endpoint {n!r} missing from graph")
-        self.graph = graph
+        # Private frozen copy: networkx raises on any add/remove attempt,
+        # and the caller keeps ownership of (and may keep mutating) the
+        # graph they passed in without affecting routing.
+        self.graph = nx.freeze(graph.copy())
         self.link_latency_ns = link_latency_ns
         self.switch_latency_ns = switch_latency_ns
         self._paths: Dict[Tuple[str, str], List[str]] = {}

@@ -13,10 +13,15 @@ The NIC is where the paper's contribution lives:
   matching and completion notification;
 * :mod:`~repro.nic.portals` -- a thin Portals-4-flavored API layer
   (counters, memory descriptors, triggered puts) matching how the paper
-  describes its prototype.
+  describes its prototype;
+* :mod:`~repro.nic.transport` -- the optional go-back-N reliable
+  transport (sequence numbers, ACK/NACK, retransmit timers, retry
+  budget) armed per NIC via :meth:`Nic.enable_reliability` for fault
+  campaigns (:mod:`repro.faults`).
 """
 
 from repro.nic.device import Nic, PutHandle, RecvHandle
+from repro.nic.transport import ReliableTransport, TransportError
 from repro.nic.lookup import (
     AssociativeLookup,
     CachedLookup,
@@ -36,6 +41,8 @@ __all__ = [
     "Nic",
     "PutHandle",
     "RecvHandle",
+    "ReliableTransport",
+    "TransportError",
     "TriggerEntry",
     "TriggerList",
     "TriggerListFull",

@@ -25,7 +25,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
-from repro.config import NicConfig, SystemConfig
+from repro.config import NicConfig, ReliabilityConfig, SystemConfig
 from repro.memory import Agent, Buffer, MemoryOrder, Scope
 from repro.net import DeliveredMessage, Fabric, Message
 from repro.net.packet import MessageKind
@@ -118,17 +118,48 @@ class Nic:
         self._active_overrides: Optional[Dict[str, Any]] = None
 
         fabric.register_rx(node, self._handle_rx)
+        #: Reliable-transport engine; ``None`` (the default) keeps the
+        #: seed's lossless fire-and-forget behavior.  Armed via
+        #: :meth:`enable_reliability` before any traffic flows.
+        self.transport = None
         # Validation probes: called with (kind, handle, now) for kinds
         # "send-dma-read" (payload captured off the send buffer) and
         # "local-complete" (buffer-reusable flag raised) -- the attachment
         # point for repro.validate completion-safety monitors.
         self.probes: List[Callable[[str, PutHandle, int], None]] = []
         self.stats = {"tx_ops": 0, "rx_puts": 0, "rx_sends": 0, "rx_gets": 0,
-                      "doorbells": 0, "trigger_writes": 0}
+                      "rx_corrupt": 0, "doorbells": 0, "trigger_writes": 0}
 
     def _emit(self, kind: str, handle: "PutHandle") -> None:
         for probe in self.probes:
             probe(kind, handle, self.sim.now)
+
+    # ------------------------------------------------------- reliable transport
+    def enable_reliability(self, config: Optional[ReliabilityConfig] = None):
+        """Arm the go-back-N reliable transport on this NIC.
+
+        Must run before any traffic flows (sequence numbers start at the
+        first send).  Returns the :class:`~repro.nic.transport.
+        ReliableTransport` engine so callers can attach probes.
+        """
+        if self.transport is not None:
+            raise RuntimeError(f"reliability already enabled on {self.node}")
+        from repro.nic.transport import ReliableTransport
+
+        self.transport = ReliableTransport(self, config or ReliabilityConfig())
+        return self.transport
+
+    def _transmit(self, msg: Message,
+                  on_first_tx: Optional[Callable[[], None]] = None) -> Event:
+        """Send one data message, through the reliable transport when
+        armed.  Returns the delivery event; with reliability on it can
+        *fail* with :class:`~repro.nic.transport.TransportError`."""
+        if self.transport is not None:
+            return self.transport.send(msg, on_first_tx=on_first_tx)
+        done = self.fabric.transmit(msg)
+        if on_first_tx is not None:
+            on_first_tx()
+        return done
 
     # ------------------------------------------------------------ MMIO side
     @property
@@ -254,8 +285,18 @@ class Nic:
                       remote_addr=op.remote_addr,
                       meta={"op_id": op.op_id, "nbytes": op.nbytes,
                             "reply_addr": op.local_addr})
-        self.fabric.transmit(msg)
+        done = self._transmit(msg)
         self.stats["tx_ops"] += 1
+
+        def _on_request_outcome(ev: Event) -> None:
+            # Reliable transport gave up on the request: surface the
+            # TransportError on the get handle instead of hanging.
+            if not ev.ok:
+                handle = self._pending_gets.pop(op.op_id, None)
+                if handle is not None and not handle.complete.triggered:
+                    handle.complete.fail(ev.value)
+
+        done.callbacks.append(_on_request_outcome)
 
     def register_triggered_get(self, tag: int, threshold: int, local_addr: int,
                                nbytes: int, target: str,
@@ -415,20 +456,36 @@ class Nic:
                       tag=op.wire_tag, meta=dict(op.meta))
         msg.meta.pop("handle", None)
         self.tracer.begin(self.sim.now, self.node, "nic", "put", op=op.op_id)
-        done = self.fabric.transmit(msg)
-        self.stats["tx_ops"] += 1
 
-        # Local completion: send buffer is reusable once fully serialized
-        # onto the wire; transmit() just reserved our egress port, so its
-        # busy_until is exactly this message's serialization end.
-        local_time = self.fabric._egress[self.node].busy_until
-        self.sim.schedule(max(0, local_time - self.sim.now) + self.nc.completion_write_ns,
-                          self._local_complete, handle)
+        def _schedule_local_complete() -> None:
+            # Local completion: send buffer is reusable once fully
+            # serialized onto the wire; transmit() just reserved our
+            # egress port, so its busy_until is exactly this message's
+            # serialization end.  (Under the reliable transport this runs
+            # at the *first* transmission -- possibly later than post
+            # time if the go-back-N window was full.)
+            local_time = self.fabric._egress[self.node].busy_until
+            self.sim.schedule(
+                max(0, local_time - self.sim.now) + self.nc.completion_write_ns,
+                self._local_complete, handle)
+
+        done = self._transmit(msg, on_first_tx=_schedule_local_complete)
+        self.stats["tx_ops"] += 1
 
         def _on_delivered(ev: Event) -> None:
             self.tracer.end(self.sim.now, self.node, "nic", "put", op=op.op_id)
-            if not handle.delivered.triggered:
+            if handle.delivered.triggered:
+                return
+            if ev.ok:
                 handle.delivered.succeed(ev.value)
+            else:
+                # Transport retry budget exhausted: structured failure on
+                # the handle, never a silent hang.  A send refused outright
+                # (peer already declared dead) also fails local completion
+                # -- nothing was ever serialized.
+                handle.delivered.fail(ev.value)
+                if not handle.local.triggered:
+                    handle.local.fail(ev.value)
 
         done.callbacks.append(_on_delivered)
 
@@ -445,6 +502,15 @@ class Nic:
     # -------------------------------------------------------------- receive
     def _handle_rx(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
+        if delivered.corrupted:
+            # CRC failure at the rx pipeline.  With the reliable transport
+            # armed this is unreachable (its fabric filter NACKs and
+            # consumes the message first); without it the payload is
+            # simply lost, as on a real lossy fabric with no retry layer.
+            self.stats["rx_corrupt"] += 1
+            self.tracer.point(self.sim.now, self.node, "nic", "rx-corrupt",
+                              msg_id=msg.msg_id, src=msg.src)
+            return
         if msg.kind is MessageKind.PUT:
             self._rx_put(delivered)
         elif msg.kind is MessageKind.SEND:
@@ -523,7 +589,7 @@ class Nic:
                             kind=MessageKind.GET_REPLY, payload=payload,
                             remote_addr=msg.meta["reply_addr"],
                             meta={"op_id": msg.meta["op_id"]})
-            self.fabric.transmit(reply)
+            self._transmit(reply)
 
         self.sim.schedule(self.nc.command_process_ns + self.nc.dma_setup_ns, _reply)
 

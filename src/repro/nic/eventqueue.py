@@ -21,7 +21,7 @@ from typing import Any, Deque, Dict, Optional
 from repro.nic.device import Nic, PutHandle
 from repro.sim import Event
 
-__all__ = ["EventKind", "EventQueue", "NicEvent"]
+__all__ = ["EventKind", "EventQueue", "EventQueueOverflow", "NicEvent"]
 
 
 class EventKind(str, enum.Enum):
@@ -44,7 +44,21 @@ class NicEvent:
 
 class EventQueueOverflow(RuntimeError):
     """The ring filled before the consumer drained it (a real-RDMA error
-    state: Portals returns PTL_EQ_DROPPED)."""
+    state: Portals returns PTL_EQ_DROPPED).
+
+    Raised to the *consumer* (from :meth:`EventQueue.poll`, or failed
+    into blocked :meth:`EventQueue.wait` events), never into the NIC
+    delivery path: hardware drops the record and keeps running; the
+    consumer is the party that must learn completions were lost.
+    """
+
+    def __init__(self, node: str, depth: int, dropped: int):
+        self.node = node
+        self.depth = depth
+        self.dropped = dropped
+        super().__init__(
+            f"event queue on {node} overflowed at depth {depth} "
+            f"({dropped} record(s) dropped)")
 
 
 class EventQueue:
@@ -58,6 +72,8 @@ class EventQueue:
         self._ring: Deque[NicEvent] = deque()
         self._waiters: Deque[Event] = deque()
         self.dropped = 0
+        #: Overflow happened and the consumer has not yet been told.
+        self._dropped_pending = False
         self._attached = False
 
     # ------------------------------------------------------------- attach
@@ -81,6 +97,10 @@ class EventQueue:
         msg = delivered.message
         from repro.net.packet import MessageKind
 
+        if getattr(delivered, "corrupted", False):
+            # A mangled packet never generates a completion record; with a
+            # reliable transport armed the clean retransmission will.
+            return
         if msg.kind is MessageKind.PUT:
             self._push(NicEvent(EventKind.PUT_ARRIVED, self.nic.sim.now,
                                 nbytes=msg.nbytes, wire_tag=msg.tag,
@@ -93,27 +113,63 @@ class EventQueue:
     # -------------------------------------------------------------- queue
     def _push(self, record: NicEvent) -> None:
         if len(self._ring) >= self.depth:
+            # Hardware semantics: the record is lost, the NIC keeps going.
+            # Consumers learn via poll()/wait() raising or failing with
+            # EventQueueOverflow -- never by an exception tearing through
+            # the delivery path that produced the record.
             self.dropped += 1
-            raise EventQueueOverflow(
-                f"event queue on {self.nic.node} overflowed at depth "
-                f"{self.depth}")
+            self._dropped_pending = True
+            self._fail_waiters()
+            return
         self._ring.append(record)
         while self._waiters and self._ring:
             self._waiters.popleft().succeed(self._ring.popleft())
+
+    def _overflow_error(self) -> EventQueueOverflow:
+        return EventQueueOverflow(self.nic.node, self.depth, self.dropped)
+
+    def _fail_waiters(self) -> None:
+        """Wake every blocked ``wait()`` with the overflow error (FIFO).
+
+        A waiter blocked at overflow time can never be satisfied in
+        order -- the record that would have woken it was dropped -- so
+        leaving it parked would hang the consumer forever.
+        """
+        while self._waiters:
+            self._waiters.popleft().fail(self._overflow_error())
 
     def __len__(self) -> int:
         return len(self._ring)
 
     def poll(self) -> Optional[NicEvent]:
-        """Non-blocking get (``PtlEQGet``)."""
-        return self._ring.popleft() if self._ring else None
+        """Non-blocking get (``PtlEQGet``).
+
+        Once the queued backlog is consumed after an overflow, raises
+        :class:`EventQueueOverflow` exactly once (PTL_EQ_DROPPED) so the
+        consumer knows the record stream has a gap; subsequent polls
+        return to normal ``None`` / record behavior.
+        """
+        if self._ring:
+            return self._ring.popleft()
+        if self._dropped_pending:
+            self._dropped_pending = False
+            raise self._overflow_error()
+        return None
 
     def wait(self) -> Event:
         """Blocking get (``PtlEQWait``): an event firing with the next
-        record; usable from simulation processes via ``yield eq.wait()``."""
+        record; usable from simulation processes via ``yield eq.wait()``.
+
+        After an overflow, once the backlog is drained the next ``wait()``
+        returns an already-failed event carrying
+        :class:`EventQueueOverflow` (one notification, like ``poll``).
+        """
         ev = Event(self.nic.sim, name=f"eqwait:{self.nic.node}")
         if self._ring:
             ev.succeed(self._ring.popleft())
+        elif self._dropped_pending:
+            self._dropped_pending = False
+            ev.fail(self._overflow_error())
         else:
             self._waiters.append(ev)
         return ev

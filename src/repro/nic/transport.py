@@ -1,0 +1,355 @@
+"""NIC reliable transport: go-back-N windows, ACK/NACK, retransmission.
+
+The fabric model is lossless, so the seed NIC never needed sequence
+numbers, timers or retries.  Fault injection (:mod:`repro.faults`)
+changes that: messages can be dropped, corrupted or delayed, and the
+GPU-TN protocol must keep its exactly-once trigger/delivery semantics
+anyway.  This module is the engine that makes it so:
+
+* every *data* message (put / send / get request / get reply) leaving a
+  reliability-enabled NIC is stamped with a per-destination **sequence
+  number** and held in a bounded **go-back-N window** until cumulatively
+  ACKed;
+* the receiver accepts exactly the next expected sequence per source --
+  duplicates (from retransmission) and gaps (from loss) are discarded
+  before they reach the NIC's rx handlers, so payload landing, flag
+  bumps and rx-chained trigger counts stay **exactly-once**;
+* gaps and CRC failures elicit a **NACK** carrying the expected
+  sequence; the sender answers NACKs and **retransmit timeouts**
+  (exponential backoff) by resending the whole window in order;
+* a retry budget bounds recovery: exhausting it declares the peer dead
+  and fails every outstanding and future send to it with a structured
+  :class:`TransportError` on the operation's handle -- the simulation
+  drains instead of deadlocking.
+
+Completion semantics are unchanged from the lossless model: a handle's
+``delivered`` event still fires at the instant the payload is *accepted*
+into target memory (the simulator's oracle view), not at ACK receipt;
+ACKs exist purely to slide windows and cancel timers.  With zero faults
+armed the transport adds only its ACK traffic -- data timing is
+untouched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.config import ReliabilityConfig
+from repro.net.fabric import DeliveredMessage
+from repro.net.packet import Message, MessageKind
+from repro.sim import Event
+
+__all__ = ["ReliableTransport", "TransportError"]
+
+
+class TransportError(RuntimeError):
+    """Retry budget exhausted: the transport gave up on a peer link.
+
+    Structured so campaign reports and tests can assert on the exact
+    failure point instead of string-matching.
+    """
+
+    def __init__(self, src: str, dst: str, seq: int, attempts: int):
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.attempts = attempts
+        super().__init__(
+            f"transport {src}->{dst} gave up on seq {seq} after "
+            f"{attempts} retransmit rounds")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"src": self.src, "dst": self.dst, "seq": self.seq,
+                "attempts": self.attempts}
+
+
+@dataclass
+class _Entry:
+    """One unacknowledged data message in a peer's send window."""
+
+    seq: int
+    msg: Message
+    event: Event
+    on_first_tx: Optional[Callable[[], None]] = None
+    sent: bool = False
+
+
+@dataclass
+class _TxState:
+    """Sender-side go-back-N state for one destination peer."""
+
+    peer: str
+    next_seq: int = 0
+    window: Deque[_Entry] = field(default_factory=deque)
+    pending: Deque[_Entry] = field(default_factory=deque)
+    retries: int = 0
+    timer_gen: int = 0
+    timer_armed: bool = False
+    dead: bool = False
+
+
+@dataclass
+class _RxState:
+    """Receiver-side state for one source peer."""
+
+    expected: int = 0
+    #: Last expected-value we NACKed (suppresses NACK storms: one NACK
+    #: per distinct gap; the sender's timer covers lost NACKs).
+    nacked_for: int = -1
+
+
+class ReliableTransport:
+    """Per-NIC reliable-delivery engine (see module docstring).
+
+    Constructed by :meth:`repro.nic.Nic.enable_reliability`; interposes
+    on the fabric via an rx filter and announces itself in the fabric's
+    transport registry so receivers can complete sender-side oracle
+    delivery events.
+    """
+
+    def __init__(self, nic, config: ReliabilityConfig):
+        self.nic = nic
+        self.sim = nic.sim
+        self.fabric = nic.fabric
+        self.node: str = nic.node
+        self.rc = config
+        self._tx: Dict[str, _TxState] = {}
+        self._rx: Dict[str, _RxState] = {}
+        #: Validation probes: ``(kind, peer, seq, now)`` with kinds
+        #: ``tx`` / ``accept`` / ``dup`` / ``gap`` / ``corrupt`` /
+        #: ``retransmit`` / ``give-up`` -- the attachment point for
+        #: :class:`repro.validate.monitors.ReliableDeliveryMonitor`.
+        self.probes: List[Callable[[str, str, int, int], None]] = []
+        self.stats = {
+            "tx_data": 0, "retransmits": 0, "timeouts": 0,
+            "acks_tx": 0, "acks_rx": 0, "nacks_tx": 0, "nacks_rx": 0,
+            "rx_dups": 0, "rx_gaps": 0, "rx_corrupt": 0,
+            "give_ups": 0, "errors": 0,
+        }
+        self.fabric.register_rx_filter(self.node, self._on_rx)
+        self.fabric.transports[self.node] = self
+
+    # ------------------------------------------------------------- send side
+    def send(self, msg: Message,
+             on_first_tx: Optional[Callable[[], None]] = None) -> Event:
+        """Sequence and (eventually) transmit ``msg``; returns the oracle
+        delivery event.  It succeeds with the :class:`DeliveredMessage`
+        when the payload is accepted at the target, or fails with
+        :class:`TransportError` if the retry budget runs out.
+
+        ``on_first_tx`` runs synchronously at the first real fabric
+        transmission (window permitting, immediately) -- the NIC uses it
+        to anchor local-completion timing to actual wire occupancy.
+        """
+        if msg.kind.is_control:
+            raise ValueError(f"control message {msg!r} must bypass the transport")
+        st = self._tx_state(msg.dst)
+        ev = self.sim.event(f"rt:{self.node}->{msg.dst}")
+        if st.dead:
+            self.stats["errors"] += 1
+            ev.fail(TransportError(self.node, msg.dst, st.next_seq, st.retries))
+            return ev
+        entry = _Entry(seq=st.next_seq, msg=msg, event=ev,
+                       on_first_tx=on_first_tx)
+        st.next_seq += 1
+        msg.seq = entry.seq
+        if len(st.window) < self.rc.window:
+            st.window.append(entry)
+            self._tx_entry(st, entry)
+        else:
+            st.pending.append(entry)
+        return ev
+
+    def _tx_state(self, peer: str) -> _TxState:
+        st = self._tx.get(peer)
+        if st is None:
+            self._tx[peer] = st = _TxState(peer)
+        return st
+
+    def _tx_entry(self, st: _TxState, entry: _Entry) -> None:
+        self.fabric.transmit(entry.msg)
+        self.stats["tx_data"] += 1
+        if not entry.sent:
+            entry.sent = True
+            self._emit("tx", st.peer, entry.seq)
+            if entry.on_first_tx is not None:
+                entry.on_first_tx()
+        if not st.timer_armed:
+            self._arm_timer(st)
+
+    # -------------------------------------------------------------- timers
+    def _arm_timer(self, st: _TxState) -> None:
+        st.timer_gen += 1
+        st.timer_armed = True
+        delay = self.rc.timeout_after_retries(st.retries)
+        self.sim.schedule(delay, self._on_timer, st, st.timer_gen)
+
+    def _disarm_timer(self, st: _TxState) -> None:
+        st.timer_gen += 1
+        st.timer_armed = False
+
+    def _on_timer(self, st: _TxState, gen: int) -> None:
+        if gen != st.timer_gen or st.dead or not st.window:
+            return
+        st.timer_armed = False
+        self.stats["timeouts"] += 1
+        self._go_back_n(st, cause="timeout")
+
+    def _go_back_n(self, st: _TxState, cause: str) -> None:
+        st.retries += 1
+        if st.retries > self.rc.max_retries:
+            self._give_up(st)
+            return
+        base = st.window[0].seq
+        self.nic.tracer.point(self.sim.now, self.node, "nic", "retransmit",
+                              peer=st.peer, base_seq=base, cause=cause,
+                              round=st.retries, in_flight=len(st.window))
+        self._emit("retransmit", st.peer, base)
+        self.stats["retransmits"] += len(st.window)
+        for entry in st.window:
+            self.fabric.transmit(entry.msg)
+        self._arm_timer(st)
+
+    def _give_up(self, st: _TxState) -> None:
+        st.dead = True
+        self._disarm_timer(st)
+        self.stats["give_ups"] += 1
+        entries = list(st.window) + list(st.pending)
+        st.window.clear()
+        st.pending.clear()
+        base = entries[0].seq if entries else st.next_seq
+        self.nic.tracer.point(self.sim.now, self.node, "nic", "transport-dead",
+                              peer=st.peer, base_seq=base, attempts=st.retries)
+        self._emit("give-up", st.peer, base)
+        for entry in entries:
+            self.stats["errors"] += 1
+            if not entry.event.triggered:
+                entry.event.fail(TransportError(self.node, st.peer,
+                                                entry.seq, st.retries))
+
+    # ----------------------------------------------------------- ack intake
+    def _on_ack(self, peer: str, ackseq: int) -> None:
+        st = self._tx.get(peer)
+        self.stats["acks_rx"] += 1
+        if st is None or st.dead:
+            return
+        progressed = False
+        while st.window and st.window[0].seq <= ackseq:
+            st.window.popleft()
+            progressed = True
+        if not progressed:
+            return
+        st.retries = 0
+        while st.pending and len(st.window) < self.rc.window:
+            entry = st.pending.popleft()
+            st.window.append(entry)
+            self._tx_entry(st, entry)
+        if st.window:
+            self._arm_timer(st)
+        else:
+            self._disarm_timer(st)
+
+    def _on_nack(self, peer: str, wanted: int) -> None:
+        st = self._tx.get(peer)
+        self.stats["nacks_rx"] += 1
+        if st is None or st.dead or not st.window:
+            return
+        # Cumulative semantics: a NACK for `wanted` also acknowledges
+        # everything below it.
+        while st.window and st.window[0].seq < wanted:
+            st.window.popleft()
+        if not st.window:
+            self._disarm_timer(st)
+            return
+        self._go_back_n(st, cause="nack")
+
+    def on_peer_accept(self, peer: str, seq: int,
+                       delivered: DeliveredMessage) -> None:
+        """Receiver-side notification that our ``seq`` to ``peer`` was
+        accepted into target memory: complete the oracle delivery event.
+        (Window slide still waits for the wire ACK.)"""
+        st = self._tx.get(peer)
+        if st is None:
+            return
+        for entry in st.window:
+            if entry.seq == seq:
+                if not entry.event.triggered:
+                    entry.event.succeed(delivered)
+                return
+
+    # ----------------------------------------------------------- recv side
+    def _on_rx(self, delivered: DeliveredMessage) -> bool:
+        """Fabric rx filter: True lets the NIC's handlers see the message."""
+        msg = delivered.message
+        if msg.kind is MessageKind.ACK and msg.seq is not None:
+            if not delivered.corrupted:
+                self._on_ack(msg.src, msg.seq)
+            return False
+        if msg.kind is MessageKind.NACK:
+            if not delivered.corrupted:
+                self._on_nack(msg.src, msg.seq)
+            return False
+        if msg.seq is None:
+            # Unsequenced data: the peer runs without reliability; pass
+            # through untouched (mixed-mode clusters).
+            return True
+        rx = self._rx.setdefault(msg.src, _RxState())
+        if delivered.corrupted:
+            self.stats["rx_corrupt"] += 1
+            self._emit("corrupt", msg.src, msg.seq)
+            self._maybe_nack(msg.src, rx)
+            return False
+        if msg.seq == rx.expected:
+            rx.expected += 1
+            self._emit("accept", msg.src, msg.seq)
+            self._send_ack(msg.src, msg.seq)
+            sender = self.fabric.transports.get(msg.src)
+            if sender is not None:
+                sender.on_peer_accept(self.node, msg.seq, delivered)
+            return True
+        if msg.seq < rx.expected:
+            # Retransmitted duplicate: drop before any handler can see it
+            # (exactly-once), and re-ACK so the sender resynchronizes.
+            self.stats["rx_dups"] += 1
+            self._emit("dup", msg.src, msg.seq)
+            self._send_ack(msg.src, rx.expected - 1)
+            return False
+        # Gap: something before this was lost; go-back-N discards the
+        # out-of-order arrival entirely.
+        self.stats["rx_gaps"] += 1
+        self._emit("gap", msg.src, msg.seq)
+        self._maybe_nack(msg.src, rx)
+        return False
+
+    def _send_ack(self, peer: str, ackseq: int) -> None:
+        self.stats["acks_tx"] += 1
+        self.fabric.transmit(Message(
+            src=self.node, dst=peer, nbytes=self.rc.ack_bytes,
+            kind=MessageKind.ACK, seq=ackseq))
+
+    def _maybe_nack(self, peer: str, rx: _RxState) -> None:
+        if rx.nacked_for == rx.expected:
+            return  # already reported this gap; the sender's timer backs us up
+        rx.nacked_for = rx.expected
+        self.stats["nacks_tx"] += 1
+        self.nic.tracer.point(self.sim.now, self.node, "nic", "nack",
+                              peer=peer, wanted=rx.expected)
+        self.fabric.transmit(Message(
+            src=self.node, dst=peer, nbytes=self.rc.ack_bytes,
+            kind=MessageKind.NACK, seq=rx.expected))
+
+    # ------------------------------------------------------------- helpers
+    def _emit(self, kind: str, peer: str, seq: int) -> None:
+        for probe in self.probes:
+            probe(kind, peer, seq, self.sim.now)
+
+    def flows(self) -> Dict[str, Dict[str, int]]:
+        """Introspection for monitors/tests: per-peer sender state."""
+        return {
+            peer: {"next_seq": st.next_seq,
+                   "in_flight": len(st.window) + len(st.pending),
+                   "dead": int(st.dead)}
+            for peer, st in sorted(self._tx.items())
+        }

@@ -116,6 +116,7 @@ class Experiment:
             if not proc.ok:
                 raise proc.value
         metrics, raw = self.finish(cluster, ctx, p)
+        counters = getattr(cluster, "transport_counters", None)
         record = RunRecord(
             experiment=self.name,
             params=p,
@@ -123,6 +124,7 @@ class Experiment:
             metrics=metrics,
             hazards=cluster.total_hazards(),
             spans=_span_rows(cluster.tracer) if do_trace else (),
+            transport=counters() if counters is not None else {},
         )
         return Execution(record=record, raw=raw, cluster=cluster)
 

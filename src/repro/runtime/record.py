@@ -74,11 +74,17 @@ class RunRecord:
     #: Figure-8-style span decomposition (closed tracer spans), present
     #: only when the run traced.
     spans: Tuple[SpanRow, ...] = ()
+    #: Reliability/fault counters (retransmits, timeouts, drops, ...),
+    #: populated only when a run armed the reliable transport or a fault
+    #: plan.  Empty for plain runs -- and omitted from the JSON form, so
+    #: pre-reliability golden fixtures stay byte-identical.
+    transport: Dict[str, int] = field(default_factory=dict)
     code_version: str = field(default=__version__)
 
     def __post_init__(self) -> None:
         self.params = {str(k): json_safe(v) for k, v in self.params.items()}
         self.metrics = {str(k): json_safe(v) for k, v in self.metrics.items()}
+        self.transport = {str(k): int(v) for k, v in self.transport.items()}
         self.spans = tuple(
             (str(n), str(a), str(p), int(s), int(e))
             for n, a, p, s, e in self.spans
@@ -97,7 +103,7 @@ class RunRecord:
 
     # -------------------------------------------------------- serialization
     def to_json(self) -> str:
-        return canonical_json({
+        doc = {
             "experiment": self.experiment,
             "params": self.params,
             "config_fingerprint": self.config_fingerprint,
@@ -105,7 +111,10 @@ class RunRecord:
             "hazards": self.hazards,
             "spans": [list(s) for s in self.spans],
             "code_version": self.code_version,
-        })
+        }
+        if self.transport:
+            doc["transport"] = self.transport
+        return canonical_json(doc)
 
     @classmethod
     def from_json(cls, text: str) -> "RunRecord":
@@ -117,6 +126,7 @@ class RunRecord:
             metrics=doc["metrics"],
             hazards=doc["hazards"],
             spans=tuple(tuple(s) for s in doc["spans"]),
+            transport=doc.get("transport", {}),
             code_version=doc["code_version"],
         )
 

@@ -30,6 +30,7 @@ from repro.validate.monitors import (
     FabricOrderMonitor,
     Monitor,
     MonotoneClockMonitor,
+    ReliableDeliveryMonitor,
     SendBufferSafetyMonitor,
     attach_monitors,
     default_monitors,
@@ -45,6 +46,7 @@ __all__ = [
     "InvariantViolation",
     "Monitor",
     "MonotoneClockMonitor",
+    "ReliableDeliveryMonitor",
     "SendBufferSafetyMonitor",
     "ValidateExperiment",
     "apply_knobs",

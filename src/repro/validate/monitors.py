@@ -25,6 +25,7 @@ __all__ = [
     "FabricOrderMonitor",
     "Monitor",
     "MonotoneClockMonitor",
+    "ReliableDeliveryMonitor",
     "SendBufferSafetyMonitor",
     "attach_monitors",
     "default_monitors",
@@ -275,6 +276,74 @@ class SendBufferSafetyMonitor(Monitor):
                     "before the NIC captured the payload",
                     time=now, node=node, op_id=handle.op.op_id)
             self._completed[hid] = now
+
+
+class ReliableDeliveryMonitor(Monitor):
+    """Invariant 8: under the reliable transport, each (src, dst) flow
+    accepts sequence numbers in exactly-once, exactly-in-order fashion
+    (0, 1, 2, ... with no duplicate or gap ever *accepted* -- drops,
+    duplicates and gaps on the wire are fine, acceptance is not), and by
+    the end of the run every transmitted sequence has been accepted
+    unless the sender declared that flow dead (retry budget exhausted).
+
+    Attaches to :attr:`repro.nic.transport.ReliableTransport.probes`;
+    NICs without a transport armed are simply not watched, so the monitor
+    is safe to include in mixed-mode clusters.
+    """
+
+    invariant = "reliable-delivery"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # flow key is (sender node, receiver node)
+        self._accepted: Dict[Tuple[str, str], int] = {}
+        self._sent: Dict[Tuple[str, str], int] = {}
+        self._dead: set = set()
+        self._sim = None
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        self._sim = cluster.sim
+        for nic in _nics_of(cluster):
+            transport = getattr(nic, "transport", None)
+            if transport is None:
+                continue
+            transport.probes.append(
+                lambda kind, peer, seq, now, node=nic.node:
+                self._observe(node, kind, peer, seq, now))
+
+    def _observe(self, node: str, kind: str, peer: str, seq: int,
+                 now: int) -> None:
+        if kind == "tx":
+            flow = (node, peer)
+            self._sent[flow] = max(self._sent.get(flow, -1), seq)
+        elif kind == "accept":
+            # `node` is the receiver here; the flow runs peer -> node.
+            flow = (peer, node)
+            last = self._accepted.get(flow, -1)
+            if seq != last + 1:
+                what = "duplicate" if seq <= last else "gap"
+                self.violation(
+                    f"flow {peer}->{node} accepted seq {seq} after {last} "
+                    f"({what} acceptance breaks exactly-once delivery)",
+                    time=now, node=node, src=peer, seq=seq, last_accepted=last)
+            self._accepted[flow] = seq
+        elif kind == "give-up":
+            self._dead.add((node, peer))
+
+    def finalize(self) -> None:
+        for flow, highest_sent in sorted(self._sent.items()):
+            if flow in self._dead:
+                continue  # retry budget exhausted: the tail is allowed to die
+            accepted = self._accepted.get(flow, -1)
+            if accepted < highest_sent:
+                src, dst = flow
+                self.violation(
+                    f"flow {src}->{dst} transmitted up to seq {highest_sent} "
+                    f"but only seq {accepted} was ever accepted (lost "
+                    "messages never recovered)",
+                    node=src, dst=dst, highest_sent=highest_sent,
+                    highest_accepted=accepted)
 
 
 def default_monitors() -> List[Monitor]:

@@ -92,15 +92,99 @@ class TestWaitSemantics:
 
 
 class TestOverflow:
-    def test_overflow_raises(self, nic_testbed):
+    def test_overflow_surfaces_to_consumer_not_delivery(self, nic_testbed):
+        """The NIC keeps delivering past a full ring; the *consumer* gets
+        PTL_EQ_DROPPED (once) after draining the surviving backlog."""
         tb = nic_testbed
         eq = attach(tb, "n1", depth=2)
         src = tb.alloc_registered("n0", 8)
         dst = tb.alloc_registered("n1", 8)
         for _ in range(3):
             tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()  # must NOT raise into the delivery path
+        assert eq.dropped == 1
+        assert eq.poll() is not None and eq.poll() is not None
+        with pytest.raises(EventQueueOverflow) as exc:
+            eq.poll()
+        assert exc.value.node == "n1" and exc.value.dropped == 1
+        # one notification only; afterwards the queue is usable again
+        assert eq.poll() is None
+        tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        assert eq.poll().kind is EventKind.PUT_ARRIVED
+
+    def test_consumer_process_not_hung_by_overflow(self, nic_testbed):
+        """Regression: a consumer that drains the backlog then waits for
+        the dropped record used to park forever; it now sees the failure
+        and can finish."""
+        tb = nic_testbed
+        eq = attach(tb, "n1", depth=2)
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        for _ in range(3):
+            tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+
+        def consumer():
+            got = 0
+            while True:
+                try:
+                    yield eq.wait()
+                except EventQueueOverflow:
+                    return got
+                got += 1
+
+        p = tb.sim.spawn(consumer())
+        got = tb.sim.run_until_event(p)
+        assert got == 2 and eq.dropped == 1
+
+    def test_wait_after_overflow_fails_once_then_recovers(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1", depth=1)
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        for _ in range(2):
+            tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        assert eq.dropped == 1
+        assert eq.drain()  # the surviving record
+        ev = eq.wait()
+        assert ev.triggered and not ev.ok
+        assert isinstance(ev.value, EventQueueOverflow)
+        # the next wait parks normally
+        ev2 = eq.wait()
+        assert not ev2.triggered
+
+    def test_drain_after_overflow_returns_backlog(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1", depth=2)
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        for _ in range(4):
+            tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        backlog = eq.drain()
+        assert len(backlog) == 2 and eq.dropped == 2
         with pytest.raises(EventQueueOverflow):
-            tb.sim.run()
+            eq.poll()
+
+    def test_waiter_wake_order_is_fifo(self, nic_testbed):
+        tb = nic_testbed
+        eq = attach(tb, "n1")
+        src = tb.alloc_registered("n0", 8)
+        dst = tb.alloc_registered("n1", 8)
+        woken = []
+
+        def consumer(label):
+            yield eq.wait()
+            woken.append(label)
+
+        for label in ("a", "b", "c"):
+            tb.sim.spawn(consumer(label))
+        for _ in range(3):
+            tb.nics["n0"].post_put(src.addr(), 8, "n1", dst.addr())
+        tb.sim.run()
+        assert woken == ["a", "b", "c"]
 
     def test_bad_depth_rejected(self, nic_testbed):
         with pytest.raises(ValueError):
