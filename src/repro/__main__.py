@@ -26,6 +26,16 @@ go-back-N reliable transport armed (see :mod:`repro.faults`)::
     python -m repro faults --seeds 10 --jobs 2      # CI smoke
     python -m repro faults --workloads allreduce --fail-fast --json out.json
     python -m repro faults --degraded               # goodput/p99 vs loss rate
+
+The ``stats`` subcommand runs a workload with a
+:class:`repro.metrics.MetricsRegistry` attached and prints the
+per-component hardware breakdown -- FIFO depths, CU occupancy, per-link
+bytes, latency histograms (see :mod:`repro.metrics`)::
+
+    python -m repro stats                           # microbench, gputn
+    python -m repro stats jacobi allreduce --strategy gds
+    python -m repro stats degraded --json stats.json
+    python -m repro stats microbench --export-trace traces/
 """
 
 from __future__ import annotations
@@ -197,12 +207,102 @@ def _faults_main(argv) -> int:
     return 0 if report.ok else 1
 
 
+def _stats_workloads():
+    """Workload name -> (experiment factory, stats-sized param overlay).
+
+    Overlays shrink the heavyweight defaults (e.g. the 8 MiB Figure 10
+    allreduce) to something a smoke run finishes in seconds; ``strategy``
+    is merged in from the command line.
+    """
+    from repro.apps.degraded import DegradedExperiment
+    from repro.apps.jacobi import JacobiExperiment
+    from repro.apps.microbench import MicrobenchExperiment
+    from repro.collectives.ring import AllreduceExperiment
+
+    return {
+        "microbench": (MicrobenchExperiment, {}),
+        "jacobi": (JacobiExperiment, {}),
+        "allreduce": (AllreduceExperiment, {"nbytes": 256 * 1024}),
+        "degraded": (DegradedExperiment, {"loss": 0.02}),
+    }
+
+
+def _print_stats(name: str, telemetry) -> None:
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+    for key, value in sorted(telemetry.get("counters", {}).items()):
+        print(f"  counter    {key:<44} {value}")
+    for key, g in sorted(telemetry.get("gauges", {}).items()):
+        print(f"  gauge      {key:<44} last={g['value']} "
+              f"min={g['min']} max={g['max']}")
+    for key, h in sorted(telemetry.get("histograms", {}).items()):
+        print(f"  histogram  {key:<44} n={h['count']} p50={h['p50']} "
+              f"p99={h['p99']} max={h['max']}")
+    for key, s in sorted(telemetry.get("series", {}).items()):
+        print(f"  series     {key:<44} observed={s['observed']} "
+              f"min={s['min']} max={s['max']} last={s['last']}")
+
+
+def _stats_main(argv) -> int:
+    from repro.metrics import MetricsRegistry
+    from repro.runtime.traceexport import export_chrome_trace
+
+    workloads = _stats_workloads()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Run a workload with the repro.metrics observability "
+                    "layer attached and print the per-component hardware "
+                    "breakdown: doorbell-FIFO depth, CU occupancy, "
+                    "per-link bytes, trigger-list activity and latency "
+                    "histograms.")
+    parser.add_argument("workloads", nargs="*", choices=[*workloads, []],
+                        help=f"subset of {list(workloads)} "
+                             "(default: microbench)")
+    parser.add_argument("--strategy", default="gputn",
+                        choices=["gputn", "gds", "hdn"],
+                        help="initiation strategy (default: gputn)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write params + metrics + telemetry per "
+                             "workload as JSON")
+    parser.add_argument("--export-trace", metavar="DIR", default=None,
+                        help="run traced and write Perfetto JSON (spans "
+                             "plus metric counter tracks) into DIR")
+    args = parser.parse_args(argv)
+
+    doc = {}
+    for pick in (args.workloads or ["microbench"]):
+        factory, overlay = workloads[pick]
+        params = dict(overlay, strategy=args.strategy)
+        registry = MetricsRegistry()
+        execution = factory().execute(
+            params, trace=True if args.export_trace else None,
+            metrics=registry)
+        record = execution.record
+        _print_stats(f"{pick} ({args.strategy})", record.telemetry)
+        doc[pick] = {"params": record.params, "metrics": record.metrics,
+                     "telemetry": record.telemetry}
+        if args.export_trace:
+            path = export_chrome_trace(
+                execution.cluster.tracer,
+                f"{args.export_trace}/{pick}-{args.strategy}.json",
+                metrics=registry)
+            print(f"  trace written to {path}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"\nstats written to {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["validate"]:
         return _validate_main(argv[1:])
     if argv[:1] == ["faults"]:
         return _faults_main(argv[1:])
+    if argv[:1] == ["stats"]:
+        return _stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits from 'GPU Triggered Networking for "

@@ -132,7 +132,13 @@ class DegradedExperiment(Experiment):
                 entry = initiator.nic.trigger_list.entry(kwargs["tag"])
                 if entry is not None:
                     initiator.nic.trigger_list.free(entry)
-            outcome["latencies"].append(int(observed_at) - t0)
+            latency = int(observed_at) - t0
+            outcome["latencies"].append(latency)
+            if cluster.metrics is not None:
+                # App-level view of the same messages the NIC histogram
+                # times; `repro stats` cross-checks the two.
+                cluster.metrics.histogram("app.message_latency_ns").record(
+                    latency)
             outcome["delivered"] += 1
         outcome["span_ns"] = cluster.sim.now - start
         return outcome["delivered"]
@@ -184,8 +190,12 @@ def degraded_report(jobs: int = 1, cache: Optional[ResultCache] = None,
             f"{'goodput B/us':>12} {'p50 us':>8} {'p99 us':>8}"]
     for r in records:
         m = r.metrics
-        p50 = f"{m['p50_latency_ns'] / 1000:.2f}" if m["p50_latency_ns"] else "-"
-        p99 = f"{m['p99_latency_ns'] / 1000:.2f}" if m["p99_latency_ns"] else "-"
+        # `is not None`, not truthiness: a legitimate 0 ns percentile
+        # must print as 0.00, not "-".
+        p50 = (f"{m['p50_latency_ns'] / 1000:.2f}"
+               if m["p50_latency_ns"] is not None else "-")
+        p99 = (f"{m['p99_latency_ns'] / 1000:.2f}"
+               if m["p99_latency_ns"] is not None else "-")
         note = "  (gave up)" if m["gave_up"] else ""
         rows.append(f"{m['loss']:>6.2%}  {m['strategy']:<6} "
                     f"{m['delivered']:>4}/{m['requested']:<4} "

@@ -82,6 +82,10 @@ class Cluster:
             for name in names
         ]
         self._by_name: Dict[str, Node] = {n.name: n for n in self.nodes}
+        #: Set by :func:`repro.metrics.attach_metrics`; ``None`` means no
+        #: observability is armed.  Apps may publish app-level measurements
+        #: (e.g. per-message latencies) into it when not ``None``.
+        self.metrics = None
 
     def __len__(self) -> int:
         return len(self.nodes)

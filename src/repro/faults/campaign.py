@@ -265,11 +265,13 @@ class FaultsExperiment(Experiment):
             and (metrics["app_ok"] or gave_up))
         return metrics, violation
 
-    def execute(self, params=None, config=None, trace=None, instrument=None):
+    def execute(self, params=None, config=None, trace=None, instrument=None,
+                metrics=None):
         # Campaign records must stay lean: drop the per-run span table
         # (the tracer itself stays on for violation context and the
         # drop/retransmit trace points).
-        execution = super().execute(params, config, trace, instrument)
+        execution = super().execute(params, config, trace, instrument,
+                                    metrics=metrics)
         execution.record.spans = ()
         return execution
 

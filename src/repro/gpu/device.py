@@ -13,7 +13,7 @@ doorbell commands ring the NIC at the kernel boundary (the GDS model).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import SystemConfig
 from repro.gpu.dispatcher import ConstantLaunchModel, LaunchLatencyModel
@@ -58,7 +58,18 @@ class Gpu:
         self.cus = Resource(sim, capacity=config.gpu.compute_units,
                             name=f"{node}.cus")
         self.stats = {"kernels": 0, "workgroups": 0, "doorbells": 0}
+        #: Observability probes: called with ``(kind, now, detail)`` for
+        #: kinds ``"kernel-launch"`` / ``"kernel-teardown"`` (detail
+        #: carries ``latency_ns``) and ``"wg-start"`` / ``"wg-end"``
+        #: (detail carries CU ``in_use`` / ``capacity``) -- the attachment
+        #: point for :mod:`repro.metrics` occupancy/latency collection.
+        #: Empty (zero overhead) unless something attaches.
+        self.probes: List[Callable[[str, int, Dict[str, Any]], None]] = []
         sim.spawn(self._front_end(), name=f"{node}.gpu.frontend")
+
+    def _emit(self, kind: str, **detail: Any) -> None:
+        for probe in self.probes:
+            probe(kind, self.sim.now, detail)
 
     # ------------------------------------------------------------ dispatch
     def launch(self, desc: KernelDescriptor) -> KernelInstance:
@@ -93,11 +104,14 @@ class Gpu:
     def _run_kernel(self, cmd: KernelDispatchCommand):
         desc = cmd.desc
         depth = self.queue.depth + 1  # this command plus whatever is behind it
+        launch_ns = self.launch_model.launch_ns(depth)
         self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-launch",
                           kernel=desc.name)
-        yield self.sim.timeout(self.launch_model.launch_ns(depth))
+        yield self.sim.timeout(launch_ns)
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-launch",
                         kernel=desc.name)
+        if self.probes:
+            self._emit("kernel-launch", kernel=desc.name, latency_ns=launch_ns)
         cmd.started.succeed(self.sim.now)
 
         self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-exec",
@@ -119,16 +133,23 @@ class Gpu:
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-exec",
                         kernel=desc.name)
 
+        teardown_ns = self.launch_model.teardown_ns(depth)
         self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-teardown",
                           kernel=desc.name)
-        yield self.sim.timeout(self.launch_model.teardown_ns(depth))
+        yield self.sim.timeout(teardown_ns)
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-teardown",
                         kernel=desc.name)
+        if self.probes:
+            self._emit("kernel-teardown", kernel=desc.name,
+                       latency_ns=teardown_ns)
         self.stats["kernels"] += 1
         cmd.finished.succeed(self.sim.now)
 
     def _workgroup(self, desc: KernelDescriptor, wg_id: int):
         yield self.cus.acquire()
+        if self.probes:
+            self._emit("wg-start", kernel=desc.name, wg=wg_id,
+                       in_use=self.cus.in_use, capacity=self.cus.capacity)
         try:
             ctx = KernelContext(self.sim, self, desc, wg_id)
             gen = desc.fn(ctx)
@@ -137,3 +158,6 @@ class Gpu:
             self.stats["workgroups"] += 1
         finally:
             self.cus.release()
+            if self.probes:
+                self._emit("wg-end", kernel=desc.name, wg=wg_id,
+                           in_use=self.cus.in_use, capacity=self.cus.capacity)

@@ -1,0 +1,184 @@
+"""Wire a :class:`~repro.metrics.registry.MetricsRegistry` into a cluster.
+
+:func:`attach_metrics` subscribes registry updates through exactly the
+probe/observer hooks the :mod:`repro.validate` monitors use --
+:meth:`repro.sim.Simulator.add_step_probe`,
+:attr:`repro.net.fabric.Fabric.probes`, :attr:`repro.nic.Nic.probes` /
+``queue_probes``, :attr:`repro.nic.triggered.TriggerList.observers`,
+:attr:`repro.gpu.device.Gpu.probes` and
+:attr:`repro.nic.transport.ReliableTransport.probes`.  The hardware
+models never see the registry: with nothing attached every hook list is
+empty and the pre-metrics code path runs unchanged (the
+zero-overhead-when-disabled contract, DESIGN.md §9).
+
+What gets published (names are ``<node>.<component>.<metric>`` or
+``<component>.<metric>`` for cluster-wide aggregates):
+
+========================================  =================================
+metric                                    source hook
+========================================  =================================
+``sim.events`` (counter)                  simulator step probe
+``gpu.kernel_launch_ns`` (histogram)      GPU probe ``kernel-launch``
+``gpu.kernel_teardown_ns`` (histogram)    GPU probe ``kernel-teardown``
+``<n>.gpu.cu_occupancy`` (series+gauge)   GPU probes ``wg-start``/``wg-end``
+``<n>.nic.trigger_fifo_depth`` (series)   NIC queue probes (push/pop)
+``<n>.nic.trigger_list_size`` (series)    trigger-list observers
+``<n>.nic.triggers|fired|...`` (counter)  trigger-list observers
+``nic.message_latency_ns`` (histogram)    NIC probes ``initiate``/``delivered``
+``fabric.link.<s>-><d>.bytes`` (counter)  fabric transmit probe
+``fabric.egress.<n>.busy_ns`` (counter)   fabric transmit probe
+``fabric.delivery_latency_ns`` (hist.)    fabric transmit probe
+``<n>.transport.retransmits|...``         transport probes
+========================================  =================================
+
+Applications may additionally publish app-level metrics (e.g. the
+degraded study's per-message latencies) through ``cluster.metrics``,
+which this module sets; it stays ``None`` on uninstrumented clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["attach_metrics"]
+
+
+def _nics_of(cluster) -> List[Any]:
+    """NICs of a :class:`~repro.cluster.Cluster` or of the leaner NIC
+    testbed harness (``nics`` mapping) -- same duck-typing as
+    :mod:`repro.validate.monitors`."""
+    nodes = getattr(cluster, "nodes", None)
+    if nodes and hasattr(nodes[0], "nic"):
+        return [n.nic for n in nodes]
+    nics = getattr(cluster, "nics", None)
+    if nics:
+        return list(nics.values())
+    return []
+
+
+def _gpus_of(cluster) -> List[Any]:
+    nodes = getattr(cluster, "nodes", None)
+    if not nodes:
+        return []
+    return [n.gpu for n in nodes if getattr(n, "gpu", None) is not None]
+
+
+def attach_metrics(cluster, registry: Optional[MetricsRegistry] = None
+                   ) -> MetricsRegistry:
+    """Arm metrics collection on ``cluster``; returns the registry.
+
+    Must run after the cluster is built and any reliability config is
+    armed, and before traffic flows (:meth:`repro.runtime.experiment.
+    Experiment.execute` does exactly this when given ``metrics=``).
+    Also publishes the registry as ``cluster.metrics`` so application
+    code can add app-level metrics.
+    """
+    registry = MetricsRegistry() if registry is None else registry
+    if getattr(cluster, "metrics", None) is not None:
+        raise RuntimeError("cluster already has a metrics registry attached")
+    cluster.metrics = registry
+
+    events = registry.counter("sim.events")
+    cluster.sim.add_step_probe(lambda t, prio, tie, seq, ev: events.inc())
+
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is not None:
+        _instrument_fabric(fabric, registry)
+    for nic in _nics_of(cluster):
+        _instrument_nic(nic, registry)
+        if nic.transport is not None:
+            _instrument_transport(nic.transport, registry)
+    for gpu in _gpus_of(cluster):
+        _instrument_gpu(gpu, registry)
+    return registry
+
+
+# ---------------------------------------------------------------- fabric
+def _instrument_fabric(fabric, registry: MetricsRegistry) -> None:
+    latency = registry.histogram("fabric.delivery_latency_ns")
+
+    def on_transmit(msg, sent_at: int, egress_end: int,
+                    delivered_at: int) -> None:
+        link = f"fabric.link.{msg.src}->{msg.dst}"
+        registry.counter(f"{link}.bytes").inc(msg.nbytes)
+        registry.counter(f"{link}.messages").inc()
+        # Egress occupancy: serialization time actually spent on the port.
+        registry.counter(f"fabric.egress.{msg.src}.busy_ns").inc(
+            fabric.net.serialization_ns(msg.nbytes))
+        latency.record(delivered_at - sent_at)
+
+    fabric.probes.append(on_transmit)
+
+
+# ------------------------------------------------------------------- nic
+def _instrument_nic(nic, registry: MetricsRegistry) -> None:
+    node = nic.node
+    fifo_depth = registry.timeseries(f"{node}.nic.trigger_fifo_depth",
+                                     node=node)
+    fifo_gauge = registry.gauge(f"{node}.nic.trigger_fifo_depth")
+    list_size = registry.timeseries(f"{node}.nic.trigger_list_size",
+                                    node=node)
+    msg_latency = registry.histogram("nic.message_latency_ns")
+    initiated_at = {}
+
+    def on_queue(kind: str, now: int, depth: int) -> None:
+        fifo_depth.sample(now, depth)
+        fifo_gauge.set(depth)
+
+    nic.queue_probes.append(on_queue)
+
+    def on_trigger(kind: str, entry) -> None:
+        registry.counter(f"{node}.nic.trigger_{kind}s").inc()
+        if kind in ("register", "free"):
+            list_size.sample(nic.sim.now, len(nic.trigger_list))
+
+    nic.trigger_list.observers.append(on_trigger)
+
+    def on_nic(kind: str, handle, now: int) -> None:
+        if kind == "initiate":
+            initiated_at[handle.handle_id] = now
+        elif kind == "delivered":
+            t0 = initiated_at.pop(handle.handle_id, None)
+            if t0 is not None:
+                msg_latency.record(now - t0)
+                registry.counter(f"{node}.nic.deliveries").inc()
+
+    nic.probes.append(on_nic)
+
+
+def _instrument_transport(transport, registry: MetricsRegistry) -> None:
+    node = transport.node
+    counted = {"tx": "tx_data", "accept": "accepts", "dup": "rx_dups",
+               "gap": "rx_gaps", "corrupt": "rx_corrupt",
+               "retransmit": "retransmit_rounds", "give-up": "give_ups"}
+
+    def on_transport(kind: str, peer: str, seq: int, now: int) -> None:
+        stat = counted.get(kind)
+        if stat is not None:
+            registry.counter(f"{node}.transport.{stat}").inc()
+
+    transport.probes.append(on_transport)
+
+
+# ------------------------------------------------------------------- gpu
+def _instrument_gpu(gpu, registry: MetricsRegistry) -> None:
+    node = gpu.node
+    launch = registry.histogram("gpu.kernel_launch_ns")
+    teardown = registry.histogram("gpu.kernel_teardown_ns")
+    occupancy = registry.timeseries(f"{node}.gpu.cu_occupancy", node=node)
+    occ_gauge = registry.gauge(f"{node}.gpu.cu_occupancy")
+
+    def on_gpu(kind: str, now: int, detail) -> None:
+        if kind == "kernel-launch":
+            launch.record(detail["latency_ns"])
+            registry.counter(f"{node}.gpu.kernels").inc()
+        elif kind == "kernel-teardown":
+            teardown.record(detail["latency_ns"])
+        elif kind in ("wg-start", "wg-end"):
+            in_use = detail["in_use"]
+            occupancy.sample(now, in_use)
+            occ_gauge.set(in_use)
+
+    gpu.probes.append(on_gpu)

@@ -122,11 +122,18 @@ class Nic:
         #: seed's lossless fire-and-forget behavior.  Armed via
         #: :meth:`enable_reliability` before any traffic flows.
         self.transport = None
-        # Validation probes: called with (kind, handle, now) for kinds
-        # "send-dma-read" (payload captured off the send buffer) and
-        # "local-complete" (buffer-reusable flag raised) -- the attachment
-        # point for repro.validate completion-safety monitors.
+        # Validation/metrics probes: called with (kind, handle, now) for
+        # kinds "send-dma-read" (payload captured off the send buffer),
+        # "local-complete" (buffer-reusable flag raised), "initiate"
+        # (put/send starts NIC processing) and "delivered" (payload
+        # accepted at the target) -- the attachment point for
+        # repro.validate completion-safety monitors and repro.metrics
+        # message-latency histograms.
         self.probes: List[Callable[[str, PutHandle, int], None]] = []
+        # Queue-depth probes: called with (kind, now, depth) for kinds
+        # "fifo-push" / "fifo-pop" on the trigger-address FIFO -- the
+        # attachment point for repro.metrics doorbell-FIFO depth series.
+        self.queue_probes: List[Callable[[str, int, int], None]] = []
         self.stats = {"tx_ops": 0, "rx_puts": 0, "rx_sends": 0, "rx_gets": 0,
                       "rx_corrupt": 0, "doorbells": 0, "trigger_writes": 0}
 
@@ -217,11 +224,19 @@ class Nic:
                 f"trigger FIFO overflow on node {self.node} "
                 f"(depth {self.nc.trigger_fifo_depth})"
             )
+        if self.queue_probes:
+            depth = len(self._trigger_fifo)
+            for probe in self.queue_probes:
+                probe("fifo-push", self.sim.now, depth)
 
     def _trigger_pump(self):
         """The trigger processor: pop, match, count, maybe fire."""
         while True:
             tag, overrides = yield self._trigger_fifo.get()
+            if self.queue_probes:
+                depth = len(self._trigger_fifo)
+                for probe in self.queue_probes:
+                    probe("fifo-pop", self.sim.now, depth)
             self._active_overrides = overrides
             try:
                 self.trigger_list.trigger(tag)
@@ -436,6 +451,8 @@ class Nic:
         delay = extra_delay
         if not staged:
             delay += self.nc.command_process_ns + self.nc.dma_setup_ns
+        if self.probes:
+            self._emit("initiate", handle)
         self.sim.schedule(delay, self._launch, handle)
 
     def _launch(self, handle: PutHandle) -> None:
@@ -478,6 +495,8 @@ class Nic:
                 return
             if ev.ok:
                 handle.delivered.succeed(ev.value)
+                if self.probes:
+                    self._emit("delivered", handle)
             else:
                 # Transport retry budget exhausted: structured failure on
                 # the handle, never a silent hang.  A send refused outright

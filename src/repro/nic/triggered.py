@@ -65,6 +65,7 @@ class TriggerEntry:
     threshold: Optional[int] = None
     counter: int = 0
     fired: bool = False
+    freed: bool = False
 
     @property
     def armed(self) -> bool:
@@ -89,12 +90,19 @@ class TriggerList:
         is invoked exactly once per entry when it becomes ready."""
         self.lookup = lookup
         self.on_fire = on_fire
+        #: Fired-but-not-yet-freed entries, oldest first.  ``free`` purges
+        #: its entry (lazily compacted), so persistent-kernel runs that
+        #: register/fire/free in a loop keep this bounded by the number of
+        #: entries still awaiting their free.
         self.fired_log: List[TriggerEntry] = []
-        #: Validation observers: called with ``(kind, entry)`` for kinds
-        #: ``"register"``, ``"trigger"`` and ``"fire"`` -- the attachment
-        #: point for :mod:`repro.validate` exactly-once monitors.
+        self._freed_in_log = 0
+        #: Validation/metrics observers: called with ``(kind, entry)`` for
+        #: kinds ``"register"``, ``"trigger"``, ``"fire"`` and ``"free"``
+        #: -- the attachment point for :mod:`repro.validate` exactly-once
+        #: monitors and the :mod:`repro.metrics` instrumentation.
         self.observers: List[Callable[[str, "TriggerEntry"], None]] = []
-        self.stats = {"registered": 0, "triggers": 0, "placeholders": 0, "fired": 0}
+        self.stats = {"registered": 0, "triggers": 0, "placeholders": 0,
+                      "fired": 0, "freed": 0}
 
     def _notify(self, kind: str, entry: "TriggerEntry") -> None:
         for observer in self.observers:
@@ -159,8 +167,27 @@ class TriggerList:
         self.on_fire(entry)
 
     def free(self, entry: TriggerEntry) -> None:
-        """Remove a consumed entry, releasing its lookup slot."""
+        """Remove a *consumed* entry, releasing its lookup slot.
+
+        Freeing an entry that has not fired would silently drop a
+        registered network operation (or a placeholder's accumulated
+        trigger counts), so it raises instead.
+        """
+        if not entry.fired:
+            state = "armed" if entry.armed else "placeholder"
+            raise ValueError(
+                f"cannot free {state} entry tag={entry.tag}: it has not "
+                "fired (freeing would drop a pending operation)")
         self.lookup.remove(entry)
+        entry.freed = True
+        self._freed_in_log += 1
+        self.stats["freed"] += 1
+        # Amortized-O(1) purge: compact once half the log is freed, so the
+        # log never holds more than ~2x the live fired entries.
+        if self._freed_in_log * 2 >= len(self.fired_log):
+            self.fired_log = [e for e in self.fired_log if not e.freed]
+            self._freed_in_log = 0
+        self._notify("free", entry)
 
     # --------------------------------------------------------------- query
     def entry(self, tag: int) -> Optional[TriggerEntry]:

@@ -82,7 +82,13 @@ class ResultCache:
 
     # ------------------------------------------------------------- housekeeping
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Also sweeps up orphaned ``*.tmp`` files -- the leftovers of
+        :meth:`put` calls killed between ``mkstemp`` and ``rename``
+        (e.g. a sweep worker dying mid-write).  Orphans do not count
+        toward the return value; they were never entries.
+        """
         n = 0
         if not self.root.is_dir():
             return n
@@ -92,6 +98,11 @@ class ResultCache:
             for entry in sorted(shard.glob("*.json")):
                 entry.unlink()
                 n += 1
+            for orphan in sorted(shard.glob("*.tmp")):
+                try:
+                    orphan.unlink()
+                except OSError:  # pragma: no cover - racing writer
+                    pass
         return n
 
     def __len__(self) -> int:

@@ -96,18 +96,29 @@ class Experiment:
     def execute(self, params: Optional[Dict[str, Any]] = None,
                 config: Optional[SystemConfig] = None,
                 trace: Optional[bool] = None,
-                instrument: Optional[Any] = None) -> Execution:
+                instrument: Optional[Any] = None,
+                metrics: Optional[Any] = None) -> Execution:
         """Run the full lifecycle once; returns record + raw + cluster.
 
         ``instrument`` is an optional callable invoked with the freshly
         built cluster before :meth:`setup` -- the hook
         :mod:`repro.validate` uses to arm invariant monitors and seed
         schedule fuzzing without the experiment knowing about either.
+
+        ``metrics`` is an optional :class:`~repro.metrics.MetricsRegistry`
+        armed on the cluster the same way (probe/observer hooks); its dump
+        lands in the record's ``telemetry`` section.  ``None`` -- the
+        default -- runs the exact pre-metrics code path, so records stay
+        byte-identical when disabled.
         """
         p = self.resolve_params(params)
         cfg = self.configure(p, config or default_config())
         do_trace = self.trace_default(p) if trace is None else trace
         cluster = self.build_cluster(p, cfg, do_trace)
+        if metrics is not None:
+            from repro.metrics import attach_metrics
+
+            attach_metrics(cluster, metrics)
         if instrument is not None:
             instrument(cluster)
         ctx = self.setup(cluster, p)
@@ -115,24 +126,26 @@ class Experiment:
         for proc in ctx.get("procs", ()):
             if not proc.ok:
                 raise proc.value
-        metrics, raw = self.finish(cluster, ctx, p)
+        metrics_out, raw = self.finish(cluster, ctx, p)
         counters = getattr(cluster, "transport_counters", None)
         record = RunRecord(
             experiment=self.name,
             params=p,
             config_fingerprint=config_fingerprint(cfg),
-            metrics=metrics,
+            metrics=metrics_out,
             hazards=cluster.total_hazards(),
             spans=_span_rows(cluster.tracer) if do_trace else (),
             transport=counters() if counters is not None else {},
+            telemetry=metrics.dump() if metrics is not None else {},
         )
         return Execution(record=record, raw=raw, cluster=cluster)
 
     def run(self, params: Optional[Dict[str, Any]] = None,
             config: Optional[SystemConfig] = None,
-            trace: Optional[bool] = None) -> RunRecord:
+            trace: Optional[bool] = None,
+            metrics: Optional[Any] = None) -> RunRecord:
         """Run once and return only the portable :class:`RunRecord`."""
-        return self.execute(params, config, trace).record
+        return self.execute(params, config, trace, metrics=metrics).record
 
 
 def _span_rows(tracer) -> tuple:

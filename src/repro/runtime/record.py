@@ -79,12 +79,20 @@ class RunRecord:
     #: plan.  Empty for plain runs -- and omitted from the JSON form, so
     #: pre-reliability golden fixtures stay byte-identical.
     transport: Dict[str, int] = field(default_factory=dict)
+    #: Structured observability dump (:meth:`repro.metrics.MetricsRegistry.
+    #: dump`): counters/gauges/histograms/series, populated only when a
+    #: run attached a metrics registry.  Empty for plain runs -- and
+    #: omitted from the JSON form, so pre-metrics golden fixtures stay
+    #: byte-identical.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
     code_version: str = field(default=__version__)
 
     def __post_init__(self) -> None:
         self.params = {str(k): json_safe(v) for k, v in self.params.items()}
         self.metrics = {str(k): json_safe(v) for k, v in self.metrics.items()}
         self.transport = {str(k): int(v) for k, v in self.transport.items()}
+        self.telemetry = {str(k): json_safe(v)
+                          for k, v in self.telemetry.items()}
         self.spans = tuple(
             (str(n), str(a), str(p), int(s), int(e))
             for n, a, p, s, e in self.spans
@@ -114,6 +122,8 @@ class RunRecord:
         }
         if self.transport:
             doc["transport"] = self.transport
+        if self.telemetry:
+            doc["telemetry"] = self.telemetry
         return canonical_json(doc)
 
     @classmethod
@@ -127,6 +137,7 @@ class RunRecord:
             hazards=doc["hazards"],
             spans=tuple(tuple(s) for s in doc["spans"]),
             transport=doc.get("transport", {}),
+            telemetry=doc.get("telemetry", {}),
             code_version=doc["code_version"],
         )
 

@@ -11,13 +11,19 @@ Events are sorted by timestamp with B/E tie-breaking chosen so that each
 thread's events form a properly nested stack wherever the underlying
 spans nest: at equal time, ends fire before begins, inner ends before
 outer ends, and outer begins before inner begins.
+
+When given a :class:`~repro.metrics.MetricsRegistry`, every
+:class:`~repro.metrics.TimeSeries` additionally becomes a Perfetto
+counter track (``"ph": "C"``): series tagged with a node render inside
+that node's process next to its spans; unattributed series land in a
+synthetic ``metrics`` process.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.sim.trace import Tracer
 
@@ -31,11 +37,21 @@ def _arg_safe(detail: Dict[str, Any]) -> Dict[str, Any]:
             for k, v in detail.items()}
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """Render a tracer's spans and points as a Chrome trace-event dict."""
+def chrome_trace(tracer: Tracer,
+                 metrics: Optional[Any] = None) -> Dict[str, Any]:
+    """Render a tracer's spans and points as a Chrome trace-event dict.
+
+    ``metrics`` (a :class:`~repro.metrics.MetricsRegistry`) adds one
+    counter track per time series.
+    """
+    series = metrics.series_list() if metrics is not None else []
     nodes = sorted({s.node for s in tracer.spans}
-                   | {e.node for e in tracer.events})
+                   | {e.node for e in tracer.events}
+                   | {ts.node for ts in series if ts.node is not None})
     pid_of = {node: i + 1 for i, node in enumerate(nodes)}
+    # Node-less series (cluster-wide aggregates) get a synthetic process.
+    metrics_pid = len(nodes) + 1
+    need_metrics_pid = any(ts.node is None for ts in series)
     actors = sorted({(s.node, s.actor) for s in tracer.spans}
                     | {(e.node, e.actor) for e in tracer.events})
     tid_of = {pair: i + 1 for i, pair in enumerate(actors)}
@@ -47,6 +63,9 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     for (node, actor), tid in tid_of.items():
         meta.append({"name": "thread_name", "ph": "M", "pid": pid_of[node],
                      "tid": tid, "args": {"name": actor}})
+    if need_metrics_pid:
+        meta.append({"name": "process_name", "ph": "M", "pid": metrics_pid,
+                     "tid": 0, "args": {"name": "metrics"}})
 
     # (ts_ns, kind_rank, nesting_rank, insertion) -> event payload.  Kind
     # ranks at equal time: ends (0) close running spans first, zero-width
@@ -76,6 +95,14 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
              "pid": pid, "tid": tid, "s": "t",
              "args": _arg_safe(event.detail)},
         ))
+    for i, ts in enumerate(series):
+        pid = pid_of[ts.node] if ts.node is not None else metrics_pid
+        for t, value in ts.samples:
+            keyed.append((
+                (t, 30, 0, i),
+                {"name": ts.name, "ph": "C", "ts": t / 1000.0,
+                 "pid": pid, "args": {"value": value}},
+            ))
     keyed.sort(key=lambda kv: kv[0])
 
     return {
@@ -85,9 +112,10 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     }
 
 
-def export_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+def export_chrome_trace(tracer: Tracer, path: Union[str, Path],
+                        metrics: Optional[Any] = None) -> Path:
     """Write the tracer's timeline as Perfetto-loadable JSON; returns path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer)))
+    path.write_text(json.dumps(chrome_trace(tracer, metrics=metrics)))
     return path

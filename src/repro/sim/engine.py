@@ -263,8 +263,9 @@ class Simulator:
     ) -> Event:
         """Schedule a plain callback ``delay`` ns from now.
 
-        Returns the underlying event (whose value is the callback's return
-        value is *not* captured; this is a fire-and-forget hook).
+        Returns the underlying event so callers can wait on *when* the
+        callback runs; the callback's return value is *not* captured --
+        this is a fire-and-forget hook.
         """
         ev = Timeout(self, delay, priority=priority)
         ev.callbacks.append(lambda _ev: callback(*args))

@@ -228,11 +228,13 @@ class ValidateExperiment(Experiment):
                              and metrics["app_ok"] and hazards == 0)
         return metrics, violation
 
-    def execute(self, params=None, config=None, trace=None, instrument=None):
+    def execute(self, params=None, config=None, trace=None, instrument=None,
+                metrics=None):
         # Fuzz records must stay lean: a campaign is hundreds of runs, so
         # drop the per-run span table the tracer accumulated (the tracer
         # itself stays on for violation context).
-        execution = super().execute(params, config, trace, instrument)
+        execution = super().execute(params, config, trace, instrument,
+                                    metrics=metrics)
         execution.record.spans = ()
         return execution
 

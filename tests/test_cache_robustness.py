@@ -91,3 +91,28 @@ def test_healthy_roundtrip_still_hits(cache):
     got = _get(cache, record)
     assert got is not None and got.metrics == {"value": 30}
     assert cache.hits == 1 and cache.misses == 0
+
+
+def test_clear_removes_orphaned_tmp_files(cache):
+    """A put() killed between mkstemp and rename leaves a *.tmp orphan in
+    the shard; clear() must sweep it (it is not counted as an entry)."""
+    record = _record()
+    path = cache.put(record)
+    orphan = path.parent / "deadbeef.tmp"
+    orphan.write_text("half-written record")
+
+    assert cache.clear() == 1  # orphans are not entries
+    assert not orphan.exists()
+    assert not path.exists()
+    assert len(cache) == 0
+
+
+def test_clear_sweeps_tmp_even_with_no_entries(cache):
+    record = _record()
+    path = cache.put(record)
+    path.unlink()  # shard dir remains, holding only the orphan
+    orphan = path.parent / "0123abcd.tmp"
+    orphan.write_text("{")
+
+    assert cache.clear() == 0
+    assert not orphan.exists()

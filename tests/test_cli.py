@@ -110,3 +110,52 @@ class TestTraceExport:
         execution = MicrobenchExperiment().execute({"strategy": "gds"})
         path = execution.cluster.tracer.export_chrome(tmp_path / "x.json")
         assert json.loads(Path(path).read_text())["traceEvents"]
+
+
+class TestStatsCommand:
+    def test_smoke_default_microbench(self, tmp_path):
+        proc = _run_cli(["stats"], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "microbench (gputn)" in proc.stdout
+        assert "sim.events" in proc.stdout
+        assert "nic.message_latency_ns" in proc.stdout
+        assert "cu_occupancy" in proc.stdout
+
+    def test_json_schema_and_nonzero_counters(self, tmp_path):
+        out = tmp_path / "stats.json"
+        proc = _run_cli(["stats", "microbench", "degraded", "--json",
+                         str(out)], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"microbench", "degraded"}
+        for workload, entry in doc.items():
+            assert set(entry) == {"params", "metrics", "telemetry"}
+            telemetry = entry["telemetry"]
+            assert set(telemetry) <= {"counters", "gauges", "histograms",
+                                      "series"}
+            counters = telemetry["counters"]
+            assert counters["sim.events"] > 0
+            assert counters["fabric.link.node0->node1.bytes"] > 0
+            latency = telemetry["histograms"]["nic.message_latency_ns"]
+            assert latency["count"] > 0
+            assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+        # The degraded run must cross-check its app-level histogram
+        # against the study's exact percentiles (within log2 rounding).
+        deg = doc["degraded"]
+        app = deg["telemetry"]["histograms"]["app.message_latency_ns"]
+        exact_p50 = deg["metrics"]["p50_latency_ns"]
+        assert exact_p50 / 2 <= app["p50"] <= exact_p50 * 2
+
+    def test_export_trace_emits_counter_tracks(self, tmp_path):
+        proc = _run_cli(["stats", "microbench", "--export-trace", "traces"],
+                        cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        path = tmp_path / "traces" / "microbench-gputn.json"
+        assert path.is_file()
+        doc = json.loads(path.read_text())
+        kinds = Counter(e["ph"] for e in doc["traceEvents"])
+        assert kinds["C"] > 0 and kinds["B"] > 0
+
+    def test_bad_workload_rejected(self, tmp_path):
+        proc = _run_cli(["stats", "nonsense"], cwd=tmp_path)
+        assert proc.returncode != 0

@@ -214,3 +214,104 @@ def test_property_multi_tag_independence(tags, thresholds):
     counts = {t: tags.count(t) for t in thresholds}
     expected = sorted(t for t, thr in thresholds.items() if counts[t] >= thr)
     assert sorted(e.tag for e in fired) == expected
+
+
+class TestFreeLifecycle:
+    """free() consumes fired entries only, and keeps fired_log bounded."""
+
+    def test_free_fired_entry_releases_slot(self):
+        fired = []
+        tl = make_list(fired)
+        entry = tl.register(op(), tag=1, threshold=1)
+        tl.trigger(1)
+        tl.free(entry)
+        assert tl.entry(1) is None
+        assert tl.stats["freed"] == 1
+
+    def test_free_armed_entry_raises(self):
+        tl = make_list([])
+        entry = tl.register(op(), tag=1, threshold=2)
+        tl.trigger(1)  # counter below threshold: still pending
+        with pytest.raises(ValueError, match="has not fired"):
+            tl.free(entry)
+        # The pending operation must survive the rejected free.
+        assert tl.entry(1) is entry
+        tl.trigger(1)
+        assert tl.entry(1).fired
+
+    def test_free_placeholder_raises(self):
+        tl = make_list([])
+        placeholder = tl.trigger(99)
+        with pytest.raises(ValueError, match="placeholder"):
+            tl.free(placeholder)
+        assert tl.entry(99) is placeholder
+
+    def test_double_free_raises_via_lookup(self):
+        fired = []
+        tl = make_list(fired)
+        entry = tl.register(op(), tag=1, threshold=1)
+        tl.trigger(1)
+        tl.free(entry)
+        with pytest.raises(ValueError):
+            tl.free(entry)
+
+    def test_fired_log_purges_freed_entries(self):
+        """A register/fire/free loop (persistent-kernel steady state) must
+        not grow fired_log unboundedly."""
+        fired = []
+        tl = make_list(fired)
+        for i in range(1000):
+            entry = tl.register(op(), tag=1, threshold=1)
+            tl.trigger(1)
+            tl.free(entry)
+            assert len(tl.fired_log) <= 2
+        assert tl.stats["fired"] == tl.stats["freed"] == 1000
+
+    def test_fired_log_keeps_unfreed_entries(self):
+        fired = []
+        tl = make_list(fired)
+        keep = tl.register(op(), tag=1, threshold=1)
+        tl.trigger(1)
+        for i in range(50):
+            entry = tl.register(op(), tag=2, threshold=1)
+            tl.trigger(2)
+            tl.free(entry)
+        assert keep in tl.fired_log and not keep.freed
+        assert all(not e.freed for e in tl.fired_log)
+
+    def test_free_notifies_observers(self):
+        seen = []
+        tl = make_list([])
+        tl.observers.append(lambda kind, entry: seen.append((kind, entry.tag)))
+        entry = tl.register(op(), tag=3, threshold=1)
+        tl.trigger(3)
+        tl.free(entry)
+        assert seen == [("register", 3), ("trigger", 3), ("fire", 3),
+                        ("free", 3)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rounds=st.integers(min_value=1, max_value=20),
+    threshold=st.integers(min_value=1, max_value=4),
+    early_triggers=st.integers(min_value=0, max_value=4),
+)
+def test_property_register_fire_free_roundtrip(rounds, threshold,
+                                               early_triggers):
+    """A tag can be re-registered after free for any number of rounds;
+    freeing before the fire always raises and drops nothing."""
+    fired = []
+    tl = make_list(fired)
+    for r in range(rounds):
+        for _ in range(min(early_triggers, threshold - 1)):
+            tl.trigger(1)  # placeholder path (relaxed synchronization)
+        entry = tl.register(op(), tag=1, threshold=threshold)
+        while not entry.fired:
+            with pytest.raises(ValueError):
+                tl.free(entry)
+            tl.trigger(1)
+        tl.free(entry)
+        assert tl.entry(1) is None
+        assert len(fired) == r + 1
+        assert len(tl.fired_log) <= 2
+    assert tl.stats["fired"] == tl.stats["freed"] == rounds
