@@ -11,9 +11,9 @@ Run:  python examples/deep_learning_projection.py [--nodes 8]
 
 import argparse
 
-from repro import default_config
+from repro import default_config, project_deep_learning
 from repro.analysis.tables import render_table
-from repro.apps.deeplearning import WORKLOADS, project_deep_learning
+from repro.apps.deeplearning import WORKLOADS
 
 
 def main() -> None:

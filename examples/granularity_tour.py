@@ -17,7 +17,7 @@ Run:  python examples/granularity_tour.py
 
 import numpy as np
 
-from repro import default_config
+from repro import Cluster, default_config
 from repro.api import (
     GpuTnEndpoint,
     dynamic_target_kernel,
@@ -26,7 +26,6 @@ from repro.api import (
     work_group_kernel,
     work_item_kernel,
 )
-from repro.cluster import Cluster
 
 
 def fresh():

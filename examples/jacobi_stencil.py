@@ -12,9 +12,9 @@ import argparse
 
 import numpy as np
 
-from repro import default_config
+from repro import default_config, run_jacobi
 from repro.analysis.tables import render_table, sparkline
-from repro.apps.jacobi import jacobi_reference, run_jacobi
+from repro.apps.jacobi import jacobi_reference
 
 STRATEGIES = ("cpu", "hdn", "gds", "gputn", "gputn-persistent")
 

@@ -19,8 +19,7 @@ import argparse
 
 import numpy as np
 
-from repro import default_config
-from repro.cluster import Cluster
+from repro import Cluster, default_config
 from repro.collectives import nic_barrier, nic_broadcast
 from repro.gpu.kernel import KernelDescriptor
 

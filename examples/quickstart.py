@@ -11,9 +11,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import default_config
-from repro.api import GpuTnEndpoint, work_group_kernel
-from repro.cluster import Cluster
+from repro import Cluster, GpuTnEndpoint, default_config
+from repro.api import work_group_kernel
 
 MESSAGE_BYTES = 256
 

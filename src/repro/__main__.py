@@ -36,6 +36,14 @@ bytes, latency histograms (see :mod:`repro.metrics`)::
     python -m repro stats jacobi allreduce --strategy gds
     python -m repro stats degraded --json stats.json
     python -m repro stats microbench --export-trace traces/
+
+The ``bench`` subcommand times the simulator itself -- raw engine event
+throughput plus the standard workloads -- and writes ``BENCH_core.json``
+(see :mod:`repro.bench`)::
+
+    python -m repro bench                           # all workloads, 3 repeats
+    python -m repro bench --repeat 1 --json         # CI smoke + report file
+    python -m repro bench --workloads engine jacobi --json bench.json
 """
 
 from __future__ import annotations
@@ -242,8 +250,39 @@ def _print_stats(name: str, telemetry) -> None:
               f"min={s['min']} max={s['max']} last={s['last']}")
 
 
+def _bench_main(argv) -> int:
+    from repro.bench import DEFAULT_REPORT_PATH, WORKLOADS, run_bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Time the standard workloads (raw engine stress, "
+                    "Figure 8 microbench, Jacobi, ring allreduce) and "
+                    "report events/sec, wall time and peak RSS -- the "
+                    "measured standard engine optimizations are held to.")
+    parser.add_argument("--workloads", nargs="+", choices=list(WORKLOADS),
+                        default=list(WORKLOADS), metavar="W",
+                        help=f"subset of {list(WORKLOADS)} (default: all)")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="timed runs per workload; best wall time is "
+                             "reported (default: 3)")
+    parser.add_argument("--json", metavar="FILE", nargs="?", default=None,
+                        const=DEFAULT_REPORT_PATH,
+                        help="write the report as JSON (default file: "
+                             f"{DEFAULT_REPORT_PATH})")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+
+    report = run_bench(workloads=args.workloads, repeat=args.repeat)
+    if args.json:
+        path = report.write(args.json)
+        print(f"report written to {path}")
+    return 0
+
+
 def _stats_main(argv) -> int:
     from repro.metrics import MetricsRegistry
+    from repro.runtime import Observers
     from repro.runtime.traceexport import export_chrome_trace
 
     workloads = _stats_workloads()
@@ -275,7 +314,7 @@ def _stats_main(argv) -> int:
         registry = MetricsRegistry()
         execution = factory().execute(
             params, trace=True if args.export_trace else None,
-            metrics=registry)
+            observers=Observers(metrics=registry))
         record = execution.record
         _print_stats(f"{pick} ({args.strategy})", record.telemetry)
         doc[pick] = {"params": record.params, "metrics": record.metrics,
@@ -303,6 +342,8 @@ def main(argv=None) -> int:
         return _faults_main(argv[1:])
     if argv[:1] == ["stats"]:
         return _stats_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits from 'GPU Triggered Networking for "

@@ -17,6 +17,7 @@ fields at trigger time) is exposed through
 """
 
 from repro.api.host_api import GpuTnEndpoint, TriggeredOp
+from repro.api.shmem import ShmemContext, SymmetricBuffer, shmem_barrier_all
 from repro.api.kernel_api import (
     dynamic_target_kernel,
     kernel_level_kernel,
@@ -27,10 +28,13 @@ from repro.api.kernel_api import (
 
 __all__ = [
     "GpuTnEndpoint",
+    "ShmemContext",
+    "SymmetricBuffer",
     "TriggeredOp",
     "dynamic_target_kernel",
     "kernel_level_kernel",
     "mixed_granularity_kernel",
+    "shmem_barrier_all",
     "work_group_kernel",
     "work_item_kernel",
 ]

@@ -28,7 +28,7 @@ from repro.memory import Buffer
 from repro.nic.device import PutHandle
 from repro.sim import AllOf, Event
 
-__all__ = ["ShmemContext", "SymmetricBuffer"]
+__all__ = ["ShmemContext", "SymmetricBuffer", "shmem_barrier_all"]
 
 
 class SymmetricBuffer:

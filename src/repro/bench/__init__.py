@@ -1,0 +1,32 @@
+"""Performance harness for the simulator itself (``repro bench``).
+
+The reproduction's headline numbers are *simulated* nanoseconds, but the
+cost of producing them is *wall-clock* seconds of discrete-event
+simulation.  This package times the standard workloads -- the Figure 8
+microbenchmark, a small Jacobi solve, a ring allreduce, and a raw-engine
+event stress loop -- and reports events/sec, wall time and peak RSS, so
+engine optimizations are held to a measured standard
+(``BENCH_core.json`` at the repo root; CI runs a one-repeat smoke).
+
+The harness intentionally depends only on long-stable simulator surface
+(falling back from :meth:`~repro.sim.Simulator.call_later` to
+:meth:`~repro.sim.Simulator.schedule`, and from ``events_processed`` to
+the scheduling counter), so the *same* harness can be run against older
+checkouts to produce comparable baselines.
+"""
+
+from repro.bench.harness import (
+    DEFAULT_REPORT_PATH,
+    WORKLOADS,
+    BenchReport,
+    WorkloadResult,
+    run_bench,
+)
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "WORKLOADS",
+    "BenchReport",
+    "WorkloadResult",
+    "run_bench",
+]

@@ -1,0 +1,129 @@
+"""Measurement core: time workloads, aggregate, serialize.
+
+Methodology
+-----------
+
+* Each workload runs ``repeat`` times; the *best* (minimum) wall time is
+  reported, per standard microbenchmarking practice -- noise from the OS
+  only ever makes a run slower, so the minimum is the best estimate of
+  the true cost.  All raw per-run timings are kept in the report.
+* Wall time is :func:`time.perf_counter` around the workload call
+  (construction included -- that is what a sweep pays per point).
+* ``gc.collect()`` runs before every timed run so one workload's garbage
+  is not billed to the next.
+* Peak RSS is ``ru_maxrss`` (process-lifetime high-water mark, so it is
+  reported once for the whole bench, not per workload).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.workloads import WORKLOADS
+
+__all__ = ["DEFAULT_REPORT_PATH", "WORKLOADS", "BenchReport",
+           "WorkloadResult", "run_bench"]
+
+#: Where ``repro bench --json`` writes by default (repo-root convention).
+DEFAULT_REPORT_PATH = "BENCH_core.json"
+
+#: Schema version of the JSON report (bump on breaking layout changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class WorkloadResult:
+    """Timing for one workload across all repeats."""
+
+    name: str
+    events: int
+    best_wall_s: float
+    wall_s: List[float] = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.best_wall_s if self.best_wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "best_wall_s": round(self.best_wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "wall_s": [round(w, 6) for w in self.wall_s],
+        }
+
+
+@dataclass
+class BenchReport:
+    """One full bench run: per-workload results plus environment."""
+
+    repeat: int
+    results: List[WorkloadResult] = field(default_factory=list)
+    peak_rss_kb: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "generated_by": "repro bench",
+            "repeat": self.repeat,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "peak_rss_kb": self.peak_rss_kb,
+            "workloads": {r.name: r.to_dict() for r in self.results},
+        }
+
+    def write(self, path: str = DEFAULT_REPORT_PATH) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+
+
+def run_bench(workloads: Optional[Iterable[str]] = None, repeat: int = 3,
+              quiet: bool = False) -> BenchReport:
+    """Run the selected ``workloads`` (default: all) ``repeat`` times each."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    picks = list(workloads) if workloads is not None else list(WORKLOADS)
+    unknown = [w for w in picks if w not in WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {unknown}; available: {list(WORKLOADS)}")
+
+    report = BenchReport(repeat=repeat)
+    for name in picks:
+        fn = WORKLOADS[name]
+        events = 0
+        walls: List[float] = []
+        for _ in range(repeat):
+            gc.collect()
+            t0 = time.perf_counter()
+            events = fn()
+            walls.append(time.perf_counter() - t0)
+        result = WorkloadResult(name=name, events=events,
+                                best_wall_s=min(walls), wall_s=walls)
+        report.results.append(result)
+        if not quiet:
+            print(f"{name:<12} events={result.events:>9,} "
+                  f"best={result.best_wall_s:.3f}s "
+                  f"rate={result.events_per_sec:>12,.0f} ev/s")
+    report.peak_rss_kb = _peak_rss_kb()
+    if not quiet and report.peak_rss_kb is not None:
+        print(f"peak rss    {report.peak_rss_kb:,} KiB")
+    return report

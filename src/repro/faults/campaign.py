@@ -266,12 +266,12 @@ class FaultsExperiment(Experiment):
         return metrics, violation
 
     def execute(self, params=None, config=None, trace=None, instrument=None,
-                metrics=None):
+                metrics=None, *, observers=None):
         # Campaign records must stay lean: drop the per-run span table
         # (the tracer itself stays on for violation context and the
         # drop/retransmit trace points).
         execution = super().execute(params, config, trace, instrument,
-                                    metrics=metrics)
+                                    metrics=metrics, observers=observers)
         execution.record.spans = ()
         return execution
 

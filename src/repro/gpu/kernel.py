@@ -157,7 +157,7 @@ class KernelContext:
         memory_scope_all_svm_devices)`` -- the GPU-TN trigger write."""
         nic = nic or self.gpu.nic
         delay = self.config.gpu.atomic_system_store_ns
-        self.sim.schedule(delay, nic.mmio_write, nic.trigger_address, tag, Agent.GPU)
+        self.sim.call_later(delay, nic.mmio_write, nic.trigger_address, tag, Agent.GPU)
         return self.sim.timeout(delay)
 
     def store_trigger_dynamic(self, tag: int, nic=None, **overrides: Any) -> Event:
@@ -166,7 +166,7 @@ class KernelContext:
         Costs one extra store beat for the extra words."""
         nic = nic or self.gpu.nic
         delay = self.config.gpu.atomic_system_store_ns * 2
-        self.sim.schedule(
+        self.sim.call_later(
             delay,
             lambda: nic.mmio_write_dynamic(nic.trigger_address, tag,
                                            Agent.GPU, **overrides),
@@ -183,8 +183,8 @@ class KernelContext:
         nic = self.gpu.nic
         first = self.config.gpu.atomic_system_store_ns
         for i in range(n):
-            self.sim.schedule(first + i, nic.mmio_write, nic.trigger_address,
-                              base_tag + i, Agent.GPU)
+            self.sim.call_later(first + i, nic.mmio_write, nic.trigger_address,
+                                base_tag + i, Agent.GPU)
         return self.sim.timeout(first + n - 1)
 
     # ------------------------------------------------------------- polling

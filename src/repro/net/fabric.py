@@ -45,7 +45,7 @@ from repro.sim import Event, Simulator, Tracer
 __all__ = ["DeliveredMessage", "Fabric", "FaultDecision"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveredMessage:
     """What the destination NIC sees when a message lands."""
 
@@ -162,10 +162,15 @@ class Fabric:
                    if self.interposer is not None else NO_FAULT)
 
         # The sender spends the egress bandwidth whether or not the
-        # message survives the wire.
+        # message survives the wire.  Tracer calls short-circuit on the
+        # enabled flag *at the call site* so a traceless sweep never pays
+        # for the kwargs dicts.
+        tracer = self.tracer
+        traced = tracer.enabled
         _, egress_end = self._egress[msg.src].reserve(now, ser)
-        self.tracer.point(now, msg.src, "fabric", "tx",
-                          msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
+        if traced:
+            tracer.point(now, msg.src, "fabric", "tx",
+                         msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
         done = self.sim.event(name=f"deliver:{msg.msg_id}")
         self.stats["messages"] += 1
         self.stats["bytes"] += msg.nbytes
@@ -173,8 +178,9 @@ class Fabric:
         if verdict.drop:
             # Lost in the fabric: no ingress occupancy, no delivery, no
             # probe -- the delivery event simply never fires.
-            self.tracer.point(now, msg.src, "fault", "drop",
-                              msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
+            if traced:
+                tracer.point(now, msg.src, "fault", "drop",
+                             msg_id=msg.msg_id, dst=msg.dst, nbytes=msg.nbytes)
             return done
 
         # Head reaches the destination port once it propagates the path;
@@ -187,23 +193,25 @@ class Fabric:
             delivery_time = self.interposer.adjust_delivery(msg.dst, delivery_time)
         delivered = DeliveredMessage(msg, sent_at=now, delivered_at=delivery_time,
                                      corrupted=verdict.corrupt)
-        if verdict.corrupt:
-            self.tracer.point(now, msg.src, "fault", "corrupt",
-                              msg_id=msg.msg_id, dst=msg.dst)
+        if verdict.corrupt and traced:
+            tracer.point(now, msg.src, "fault", "corrupt",
+                         msg_id=msg.msg_id, dst=msg.dst)
 
         def _deliver() -> None:
             for fltr in self._rx_filters[msg.dst]:
                 if not fltr(delivered):
                     return
-            self.tracer.point(self.sim.now, msg.dst, "fabric", "rx",
-                              msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
+            if tracer.enabled:
+                tracer.point(self.sim.now, msg.dst, "fabric", "rx",
+                             msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
             for handler in self._rx_handlers[msg.dst]:
                 handler(delivered)
             done.succeed(delivered)
 
-        self.sim.schedule(delivery_time - now, _deliver)
-        for probe in self.probes:
-            probe(msg, now, egress_end, delivery_time)
+        self.sim.call_later(delivery_time - now, _deliver)
+        if self.probes:
+            for probe in self.probes:
+                probe(msg, now, egress_end, delivery_time)
         return done
 
     # ------------------------------------------------------------ estimates

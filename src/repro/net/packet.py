@@ -34,9 +34,13 @@ class MessageKind(str, enum.Enum):
         return self in (MessageKind.ACK, MessageKind.NACK)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One fabric-level message."""
+    """One fabric-level message.
+
+    ``slots=True``: messages are the unit of fabric work, so the per-message
+    ``__dict__`` was measurable churn on large sweeps.
+    """
 
     src: str
     dst: str

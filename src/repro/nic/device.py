@@ -41,7 +41,7 @@ _handle_ids = itertools.count(1)
 _TRIGGER_WINDOW_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class PutHandle:
     """Initiator-side handle for a put/send operation."""
 
@@ -57,7 +57,7 @@ class PutHandle:
     local_flag: Optional[Tuple[Buffer, int]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvHandle:
     """Target-side handle for a two-sided receive."""
 
@@ -68,7 +68,7 @@ class RecvHandle:
     handle_id: int = field(default_factory=lambda: next(_handle_ids))
 
 
-@dataclass
+@dataclass(slots=True)
 class GetHandle:
     """Initiator-side handle for a get operation."""
 
@@ -185,9 +185,10 @@ class Nic:
                 f"MMIO write to {addr:#x} outside trigger window of node {self.node}"
             )
         self.stats["trigger_writes"] += 1
-        self.tracer.point(self.sim.now, self.node, from_agent.value, "trigger-store",
-                          tag=value)
-        self.sim.schedule(self.nc.doorbell_mmio_ns, self._fifo_push, (int(value), None))
+        if self.tracer.enabled:
+            self.tracer.point(self.sim.now, self.node, from_agent.value,
+                              "trigger-store", tag=value)
+        self.sim.call_later(self.nc.doorbell_mmio_ns, self._fifo_push, (int(value), None))
 
     _DYNAMIC_FIELDS = frozenset({"target", "remote_addr", "local_addr", "nbytes"})
 
@@ -210,11 +211,12 @@ class Nic:
             raise ValueError(f"unsupported dynamic fields {sorted(unknown)}; "
                              f"allowed: {sorted(self._DYNAMIC_FIELDS)}")
         self.stats["trigger_writes"] += 1
-        self.tracer.point(self.sim.now, self.node, from_agent.value, "trigger-store",
-                          tag=tag, dynamic=True)
+        if self.tracer.enabled:
+            self.tracer.point(self.sim.now, self.node, from_agent.value,
+                              "trigger-store", tag=tag, dynamic=True)
         # A wide (multi-word) MMIO write costs one extra propagation beat.
-        self.sim.schedule(self.nc.doorbell_mmio_ns + self.nc.doorbell_mmio_ns // 4,
-                          self._fifo_push, (int(tag), dict(overrides)))
+        self.sim.call_later(self.nc.doorbell_mmio_ns + self.nc.doorbell_mmio_ns // 4,
+                            self._fifo_push, (int(tag), dict(overrides)))
 
     def _fifo_push(self, item: tuple[int, Optional[Dict[str, Any]]]) -> None:
         if not self._trigger_fifo.try_put(item):
@@ -280,8 +282,9 @@ class Nic:
         matching and operation fetch.
         """
         self.stats["doorbells"] += 1
-        self.tracer.point(self.sim.now, self.node, "nic", "doorbell",
-                          op=handle.op.op_id)
+        if self.tracer.enabled:
+            self.tracer.point(self.sim.now, self.node, "nic", "doorbell",
+                              op=handle.op.op_id)
         self._initiate(handle, extra_delay=0, staged=True)
 
     def post_get(self, local_addr: int, nbytes: int, target: str,
@@ -291,7 +294,7 @@ class Nic:
                        target=target, remote_addr=remote_addr)
         handle = GetHandle(op=op, complete=self.sim.event(f"get:{op.op_id}"))
         self._pending_gets[op.op_id] = handle
-        self.sim.schedule(self.nc.command_process_ns, self._issue_get, op)
+        self.sim.call_later(self.nc.command_process_ns, self._issue_get, op)
         return handle
 
     def _issue_get(self, op: NetworkOp) -> None:
@@ -339,8 +342,8 @@ class Nic:
         waiting = self._unexpected.get(tag)
         if waiting:
             delivered = waiting.popleft()
-            self.sim.schedule(self.config.cpu.recv_match_ns,
-                              self._finish_recv, handle, delivered)
+            self.sim.call_later(self.config.cpu.recv_match_ns,
+                                self._finish_recv, handle, delivered)
         else:
             self._posted_recvs.setdefault(tag, deque()).append(handle)
         return handle
@@ -429,10 +432,11 @@ class Nic:
             # some operation fields.
             for fieldname, value in self._active_overrides.items():
                 setattr(op, fieldname, value)
-        self.tracer.point(self.sim.now, self.node, "nic", "trigger-fire",
-                          tag=entry.tag, op=op.op_id)
+        if self.tracer.enabled:
+            self.tracer.point(self.sim.now, self.node, "nic", "trigger-fire",
+                              tag=entry.tag, op=op.op_id)
         if op.kind == "get":
-            self.sim.schedule(self.nc.command_process_ns, self._issue_get, op)
+            self.sim.call_later(self.nc.command_process_ns, self._issue_get, op)
         elif "fanout_handles" in op.meta:
             for handle in op.meta["fanout_handles"]:
                 self._initiate(handle, extra_delay=0)
@@ -453,7 +457,7 @@ class Nic:
             delay += self.nc.command_process_ns + self.nc.dma_setup_ns
         if self.probes:
             self._emit("initiate", handle)
-        self.sim.schedule(delay, self._launch, handle)
+        self.sim.call_later(delay, self._launch, handle)
 
     def _launch(self, handle: PutHandle) -> None:
         op = handle.op
@@ -472,7 +476,8 @@ class Nic:
                       payload=payload, remote_addr=op.remote_addr,
                       tag=op.wire_tag, meta=dict(op.meta))
         msg.meta.pop("handle", None)
-        self.tracer.begin(self.sim.now, self.node, "nic", "put", op=op.op_id)
+        if self.tracer.enabled:
+            self.tracer.begin(self.sim.now, self.node, "nic", "put", op=op.op_id)
 
         def _schedule_local_complete() -> None:
             # Local completion: send buffer is reusable once fully
@@ -482,7 +487,7 @@ class Nic:
             # at the *first* transmission -- possibly later than post
             # time if the go-back-N window was full.)
             local_time = self.fabric._egress[self.node].busy_until
-            self.sim.schedule(
+            self.sim.call_later(
                 max(0, local_time - self.sim.now) + self.nc.completion_write_ns,
                 self._local_complete, handle)
 
@@ -490,7 +495,8 @@ class Nic:
         self.stats["tx_ops"] += 1
 
         def _on_delivered(ev: Event) -> None:
-            self.tracer.end(self.sim.now, self.node, "nic", "put", op=op.op_id)
+            if self.tracer.enabled:
+                self.tracer.end(self.sim.now, self.node, "nic", "put", op=op.op_id)
             if handle.delivered.triggered:
                 return
             if ev.ok:
@@ -561,13 +567,13 @@ class Nic:
                 arr = buf.view(dtype="uint32", count=1, offset=off)
                 arr[0] = arr[0] + 1
                 self.mem.record_write(self.sim.now, Agent.NIC, buf)
-            self.sim.schedule(self.nc.completion_write_ns, _set_flag)
+            self.sim.call_later(self.nc.completion_write_ns, _set_flag)
         for ev in self._rx_watchers.pop(wire_tag, []):
             ev.succeed(delivered)
         for trigger_tag in self._rx_chains.get(wire_tag, ()):
             # Internal chaining shares the trigger FIFO (ordering) but
             # skips the MMIO propagation an external write would pay.
-            self.sim.schedule(0, self._fifo_push, (trigger_tag, None))
+            self.sim.call_later(0, self._fifo_push, (trigger_tag, None))
 
     def _rx_send(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
@@ -576,8 +582,8 @@ class Nic:
         queue = self._posted_recvs.get(tag)
         if queue:
             handle = queue.popleft()
-            self.sim.schedule(self.config.cpu.recv_match_ns,
-                              self._finish_recv, handle, delivered)
+            self.sim.call_later(self.config.cpu.recv_match_ns,
+                                self._finish_recv, handle, delivered)
         else:
             self._unexpected.setdefault(tag, deque()).append(delivered)
 
@@ -610,7 +616,7 @@ class Nic:
                             meta={"op_id": msg.meta["op_id"]})
             self._transmit(reply)
 
-        self.sim.schedule(self.nc.command_process_ns + self.nc.dma_setup_ns, _reply)
+        self.sim.call_later(self.nc.command_process_ns + self.nc.dma_setup_ns, _reply)
 
     def _rx_get_reply(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
@@ -621,5 +627,5 @@ class Nic:
             self.space.dma_write(msg.remote_addr, msg.payload or b"")
             buf, _ = self.space.resolve(msg.remote_addr, msg.nbytes)
             self.mem.record_write(self.sim.now, Agent.NIC, buf)
-        self.sim.schedule(self.nc.completion_write_ns,
-                          lambda: handle.complete.succeed(delivered))
+        self.sim.call_later(self.nc.completion_write_ns,
+                            lambda: handle.complete.succeed(delivered))

@@ -65,7 +65,7 @@ class TransportError(RuntimeError):
                 "attempts": self.attempts}
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     """One unacknowledged data message in a peer's send window."""
 
@@ -76,7 +76,7 @@ class _Entry:
     sent: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _TxState:
     """Sender-side go-back-N state for one destination peer."""
 
@@ -90,7 +90,7 @@ class _TxState:
     dead: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _RxState:
     """Receiver-side state for one source peer."""
 
@@ -184,7 +184,7 @@ class ReliableTransport:
         st.timer_gen += 1
         st.timer_armed = True
         delay = self.rc.timeout_after_retries(st.retries)
-        self.sim.schedule(delay, self._on_timer, st, st.timer_gen)
+        self.sim.call_later(delay, self._on_timer, st, st.timer_gen)
 
     def _disarm_timer(self, st: _TxState) -> None:
         st.timer_gen += 1

@@ -31,7 +31,7 @@ __all__ = ["NetworkOp", "TriggerEntry", "TriggerList"]
 _op_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkOp:
     """The deferred network operation held in a trigger entry.
 
@@ -56,7 +56,7 @@ class NetworkOp:
             raise ValueError("negative operation size")
 
 
-@dataclass
+@dataclass(slots=True)
 class TriggerEntry:
     """One row of the NIC trigger list."""
 

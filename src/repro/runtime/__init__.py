@@ -7,6 +7,10 @@ factors the shared lifecycle out of the application modules:
   simulated run: config overlay -> :class:`~repro.cluster.Cluster`
   construction -> flow spawning -> run -> typed
   :class:`~repro.runtime.record.RunRecord`;
+* :class:`~repro.runtime.observers.Observers` -- the declarative bundle of
+  everything that watches or perturbs one run (metrics registry,
+  instrument callables, fault plan, transport reliability), armed on the
+  cluster in dependency order by ``Experiment.execute(observers=...)``;
 * :class:`~repro.runtime.sweep.Sweep` -- declarative parameter grids fanned
   out over a ``multiprocessing`` pool with deterministic result ordering
   (parallel output is bit-identical to serial);
@@ -18,6 +22,7 @@ factors the shared lifecycle out of the application modules:
 
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.experiment import Execution, Experiment
+from repro.runtime.observers import Observers
 from repro.runtime.record import RunRecord, config_fingerprint
 from repro.runtime.sweep import Sweep, run_sweep
 from repro.runtime.traceexport import chrome_trace, export_chrome_trace
@@ -25,6 +30,7 @@ from repro.runtime.traceexport import chrome_trace, export_chrome_trace
 __all__ = [
     "Execution",
     "Experiment",
+    "Observers",
     "ResultCache",
     "RunRecord",
     "Sweep",

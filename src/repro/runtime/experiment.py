@@ -14,11 +14,13 @@ dict threaded through the hooks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.cluster import Cluster
 from repro.config import SystemConfig, default_config
+from repro.runtime.observers import Observers
 from repro.runtime.record import RunRecord, config_fingerprint
 
 __all__ = ["Execution", "Experiment"]
@@ -97,30 +99,45 @@ class Experiment:
                 config: Optional[SystemConfig] = None,
                 trace: Optional[bool] = None,
                 instrument: Optional[Any] = None,
-                metrics: Optional[Any] = None) -> Execution:
+                metrics: Optional[Any] = None, *,
+                observers: Optional[Any] = None) -> Execution:
         """Run the full lifecycle once; returns record + raw + cluster.
 
-        ``instrument`` is an optional callable invoked with the freshly
-        built cluster before :meth:`setup` -- the hook
-        :mod:`repro.validate` uses to arm invariant monitors and seed
-        schedule fuzzing without the experiment knowing about either.
+        ``observers`` bundles everything that watches or perturbs the run
+        -- metrics registry, instrument callables, fault plan, transport
+        reliability -- into one :class:`~repro.runtime.observers.Observers`
+        (or any of its :meth:`~repro.runtime.observers.Observers.coerce`
+        shorthands: a registry, a callable, or an iterable of callables).
+        It is armed on the freshly built cluster before :meth:`setup`, in
+        dependency order (reliability, faults, metrics, instruments).
+        ``None`` -- the default -- arms nothing and runs the exact
+        pre-observability code path, so records stay byte-identical.
 
-        ``metrics`` is an optional :class:`~repro.metrics.MetricsRegistry`
-        armed on the cluster the same way (probe/observer hooks); its dump
-        lands in the record's ``telemetry`` section.  ``None`` -- the
-        default -- runs the exact pre-metrics code path, so records stay
-        byte-identical when disabled.
+        ``instrument=`` and ``metrics=`` are deprecated spellings of
+        ``observers=Observers(instruments=(fn,))`` and
+        ``observers=Observers(metrics=registry)``; they emit
+        :class:`DeprecationWarning` and will be removed.
         """
+        obs = Observers.coerce(observers)
+        if instrument is not None:
+            warnings.warn(
+                "Experiment.execute(instrument=...) is deprecated; pass "
+                "observers=Observers(instruments=(fn,)) instead",
+                DeprecationWarning, stacklevel=2)
+        if metrics is not None:
+            warnings.warn(
+                "Experiment.execute(metrics=...) is deprecated; pass "
+                "observers=Observers(metrics=registry) instead",
+                DeprecationWarning, stacklevel=2)
+        if instrument is not None or metrics is not None:
+            obs = (obs or Observers()).merged_with(instrument=instrument,
+                                                   metrics=metrics)
+
         p = self.resolve_params(params)
         cfg = self.configure(p, config or default_config())
         do_trace = self.trace_default(p) if trace is None else trace
         cluster = self.build_cluster(p, cfg, do_trace)
-        if metrics is not None:
-            from repro.metrics import attach_metrics
-
-            attach_metrics(cluster, metrics)
-        if instrument is not None:
-            instrument(cluster)
+        registry = obs.arm(cluster) if obs is not None else None
         ctx = self.setup(cluster, p)
         self.drive(cluster, ctx, p)
         for proc in ctx.get("procs", ()):
@@ -136,16 +153,24 @@ class Experiment:
             hazards=cluster.total_hazards(),
             spans=_span_rows(cluster.tracer) if do_trace else (),
             transport=counters() if counters is not None else {},
-            telemetry=metrics.dump() if metrics is not None else {},
+            telemetry=registry.dump() if registry is not None else {},
         )
         return Execution(record=record, raw=raw, cluster=cluster)
 
     def run(self, params: Optional[Dict[str, Any]] = None,
             config: Optional[SystemConfig] = None,
             trace: Optional[bool] = None,
-            metrics: Optional[Any] = None) -> RunRecord:
+            metrics: Optional[Any] = None, *,
+            observers: Optional[Any] = None) -> RunRecord:
         """Run once and return only the portable :class:`RunRecord`."""
-        return self.execute(params, config, trace, metrics=metrics).record
+        if metrics is not None:
+            warnings.warn(
+                "Experiment.run(metrics=...) is deprecated; pass "
+                "observers=Observers(metrics=registry) instead",
+                DeprecationWarning, stacklevel=2)
+            observers = ((Observers.coerce(observers) or Observers())
+                         .merged_with(metrics=metrics))
+        return self.execute(params, config, trace, observers=observers).record
 
 
 def _span_rows(tracer) -> tuple:

@@ -15,6 +15,18 @@ same-tick user logic.  ``tiebreak`` is 0 in normal operation; the
 seed_tiebreaks`) to explore alternative legal orderings of same-time,
 same-priority events, and invariant monitors observe every pop through
 :meth:`Simulator.add_step_probe`.
+
+Hot-path notes (DESIGN.md "Performance model of the simulator itself"):
+the engine is the multiplier under every exhibit, fuzz campaign and fault
+sweep, so :meth:`Simulator.run` drains the heap with locally bound
+references and no per-event ``until`` re-check inside a same-tick run,
+:meth:`Simulator.call_later` recycles fire-and-forget callback events
+through a freelist instead of allocating a :class:`Timeout` + closure per
+call, and the probe path costs one truthiness test when no monitor is
+attached.  None of this may reorder events: every optimization preserves
+the exact ``(time, priority, tiebreak, sequence)`` pop order (pinned by
+golden RunRecord fixtures and the determinism tests in
+``tests/test_sim_engine.py``).
 """
 
 from __future__ import annotations
@@ -37,6 +49,11 @@ __all__ = [
 PRIORITY_NORMAL = 10
 #: Priority used by hardware pipelines that must drain before user logic.
 PRIORITY_URGENT = 0
+
+#: Upper bound on the callback-event freelist (see Simulator.call_later).
+#: Big enough that steady-state churn never allocates; small enough that a
+#: burst of in-flight callbacks does not pin memory forever.
+_POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -149,11 +166,46 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None, priority: int = PRIORITY_NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # The name stays static: rendering f"timeout({delay})" per event
+        # was a measurable share of event-churn cost, and the delay is
+        # visible in the repr through the dedicated slot anyway.
+        super().__init__(sim, name="timeout")
         self.delay = int(delay)
         self._triggered = True
         self._value = value
         sim._schedule_event(self, self.delay, priority)
+
+
+class _CallbackEvent(Event):
+    """Internal fire-and-forget event used by :meth:`Simulator.call_later`.
+
+    Instances are recycled through the simulator's freelist: after the
+    callback runs, the event resets itself and returns to the pool, so
+    steady-state callback scheduling allocates nothing.  Never handed out
+    to callers -- external code cannot hold a reference, which is what
+    makes recycling safe.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim, name="callback")
+        self._fn: Optional[Callable[..., None]] = None
+        self._args: tuple = ()
+
+    def _run_callbacks(self) -> None:
+        fn, args = self._fn, self._args
+        # Reset and return to the pool *before* invoking: a callback that
+        # schedules again may immediately reuse this object, and a raising
+        # callback leaves it clean in the pool rather than leaking state.
+        self._fn = None
+        self._args = ()
+        self._triggered = False
+        self._value = None
+        pool = self.sim._pool
+        if len(pool) < _POOL_MAX:
+            pool.append(self)
+        fn(*args)  # type: ignore[misc]
 
 
 class _Condition(Event):
@@ -233,6 +285,11 @@ class Simulator:
         self._running = False
         self._tiebreak_rng: Optional[random.Random] = None
         self._step_probes: list[Callable[[int, int, int, int, Event], None]] = []
+        #: Recycled :class:`_CallbackEvent` freelist (see :meth:`call_later`).
+        self._pool: list[_CallbackEvent] = []
+        #: Events popped and fired so far -- the numerator of the
+        #: events/sec metric :mod:`repro.bench` reports.
+        self.events_processed: int = 0
 
     # -------------------------------------------------------------- clock/api
     @property
@@ -265,11 +322,39 @@ class Simulator:
 
         Returns the underlying event so callers can wait on *when* the
         callback runs; the callback's return value is *not* captured --
-        this is a fire-and-forget hook.
+        this is a fire-and-forget hook.  When nothing will wait on the
+        returned event, prefer :meth:`call_later`: it takes the same
+        arguments but recycles its event object through a freelist.
         """
         ev = Timeout(self, delay, priority=priority)
         ev.callbacks.append(lambda _ev: callback(*args))
         return ev
+
+    def call_later(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget sibling of :meth:`schedule`; returns ``None``.
+
+        Schedules ``callback(*args)`` to run ``delay`` ns from now with the
+        exact same ordering semantics as :meth:`schedule` (one scheduler
+        sequence number, same default priority), but the backing event
+        comes from -- and returns to -- an internal freelist, so the
+        per-call allocations (Timeout + closure + callback list) disappear.
+        This is the hot-path API the hardware models use for their internal
+        pipeline delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        pool = self._pool
+        ev = pool.pop() if pool else _CallbackEvent(self)
+        ev._fn = callback
+        ev._args = args
+        ev._triggered = True
+        self._schedule_event(ev, delay, priority)
 
     # ------------------------------------------------------- validation hooks
     def add_step_probe(self, probe: Callable[[int, int, int, int, Event], None]) -> None:
@@ -292,12 +377,13 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: int, priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        event._sched_seq = self._seq
-        tiebreak = (self._tiebreak_rng.getrandbits(16)
-                    if self._tiebreak_rng is not None else 0)
+        seq = self._seq = self._seq + 1
+        event._sched_seq = seq
+        rng = self._tiebreak_rng
         heapq.heappush(self._heap,
-                       (self._now + int(delay), priority, tiebreak, self._seq, event))
+                       (self._now + int(delay), priority,
+                        rng.getrandbits(16) if rng is not None else 0,
+                        seq, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
@@ -311,6 +397,7 @@ class Simulator:
         if t < self._now:  # pragma: no cover - guarded by _schedule_event
             raise SimulationError("event heap time went backwards")
         self._now = t
+        self.events_processed += 1
         if self._step_probes:
             for probe in self._step_probes:
                 probe(t, prio, tie, seq, event)
@@ -320,36 +407,78 @@ class Simulator:
         """Run until the heap drains or the clock passes ``until``.
 
         Returns the final simulation time.
+
+        The drain loop is the simulator's hottest code: it pops events
+        with locally bound references and -- within a run of events at one
+        timestamp -- skips the per-event ``until`` re-check (same-tick
+        events cannot newly pass the horizon).  Pop order is bit-identical
+        to repeated :meth:`step` calls; ``tests/test_sim_engine.py``
+        asserts this on fuzzed schedules.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        # Bind the probe *list* (not a snapshot): add_step_probe appends in
+        # place, so probes attached mid-run are still honored while the
+        # no-probe case costs one truthiness test per event.
+        probes = self._step_probes
         try:
-            while self._heap:
-                t = self._heap[0][0]
-                if until is not None and t > until:
-                    self._now = until
-                    break
-                self.step()
+            if until is None:
+                while heap:
+                    t, prio, tie, seq, event = pop(heap)
+                    self._now = t
+                    processed += 1
+                    if probes:
+                        for probe in probes:
+                            probe(t, prio, tie, seq, event)
+                    event._run_callbacks()
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                while heap:
+                    t = heap[0][0]
+                    if t > until:
+                        self._now = until
+                        break
+                    # Drain the whole same-tick run; zero-delay events a
+                    # callback schedules join it in heap order.
+                    while heap and heap[0][0] == t:
+                        t, prio, tie, seq, event = pop(heap)
+                        self._now = t
+                        processed += 1
+                        if probes:
+                            for probe in probes:
+                                probe(t, prio, tie, seq, event)
+                        event._run_callbacks()
+                else:
+                    if until > self._now:
+                        self._now = until
         finally:
             self._running = False
+            self.events_processed += processed
         return self._now
 
     def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
         """Run until ``event`` is processed; returns its value.
 
         Raises the event's exception if it failed, and ``SimulationError``
-        if the heap drains (or ``limit`` is reached) first.
+        if the heap drains (or ``limit`` is reached) first.  Enforces the
+        same reentrancy guard as :meth:`run`: calling it from inside an
+        event callback would corrupt the clock.
         """
-        while not event.processed:
-            if not self._heap:
-                raise SimulationError(f"simulation ended before {event!r} fired")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(f"limit {limit} reached before {event!r} fired")
-            self.step()
+        if self._running:
+            raise SimulationError("Simulator.run_until_event() is not reentrant")
+        self._running = True
+        try:
+            while not event.processed:
+                if not self._heap:
+                    raise SimulationError(f"simulation ended before {event!r} fired")
+                if limit is not None and self._heap[0][0] > limit:
+                    raise SimulationError(f"limit {limit} reached before {event!r} fired")
+                self.step()
+        finally:
+            self._running = False
         if not event.ok:
             raise event.value
         return event.value

@@ -38,6 +38,10 @@ class Store:
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
+        # Event names rendered once, not per get/put: the trigger-FIFO
+        # pump creates one get event per doorbell write, a hot path.
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
 
     def __len__(self) -> int:
         return len(self.items)
@@ -47,7 +51,7 @@ class Store:
         return self.capacity is not None and len(self.items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim, name=f"put:{self.name}")
+        ev = Event(self.sim, name=self._put_name)
         if self._getters:
             # Hand straight to the oldest waiting getter.
             getter = self._getters.popleft()
@@ -71,7 +75,7 @@ class Store:
         return True
 
     def get(self) -> Event:
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         if self.items:
             ev.succeed(self.items.popleft())
             self._admit_putter()

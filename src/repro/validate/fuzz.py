@@ -229,12 +229,12 @@ class ValidateExperiment(Experiment):
         return metrics, violation
 
     def execute(self, params=None, config=None, trace=None, instrument=None,
-                metrics=None):
+                metrics=None, *, observers=None):
         # Fuzz records must stay lean: a campaign is hundreds of runs, so
         # drop the per-run span table the tracer accumulated (the tracer
         # itself stays on for violation context).
         execution = super().execute(params, config, trace, instrument,
-                                    metrics=metrics)
+                                    metrics=metrics, observers=observers)
         execution.record.spans = ()
         return execution
 

@@ -1,0 +1,98 @@
+"""The repro.bench harness and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_REPORT_PATH,
+    WORKLOADS,
+    run_bench,
+)
+from repro.bench.harness import SCHEMA_VERSION
+from repro.bench.workloads import engine_stress
+
+
+class TestWorkloads:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {"engine", "microbench", "jacobi",
+                                  "allreduce"}
+
+    def test_engine_stress_counts_callbacks(self):
+        events = engine_stress(n_rounds=2_000)
+        assert events >= 2_000
+
+    @pytest.mark.parametrize("name", ["microbench", "jacobi", "allreduce"])
+    def test_system_workloads_return_events(self, name):
+        assert WORKLOADS[name]() > 0
+
+
+class TestHarness:
+    def test_report_schema(self, monkeypatch):
+        monkeypatch.setitem(WORKLOADS, "engine",
+                            lambda: engine_stress(n_rounds=2_000))
+        report = run_bench(workloads=["engine"], repeat=2, quiet=True)
+        doc = report.to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["repeat"] == 2
+        wl = doc["workloads"]["engine"]
+        assert wl["events"] > 0
+        assert wl["events_per_sec"] > 0
+        assert len(wl["wall_s"]) == 2
+        assert wl["best_wall_s"] == min(wl["wall_s"])
+
+    def test_peak_rss_reported_on_linux(self, monkeypatch):
+        monkeypatch.setitem(WORKLOADS, "engine",
+                            lambda: engine_stress(n_rounds=500))
+        report = run_bench(workloads=["engine"], repeat=1, quiet=True)
+        assert report.peak_rss_kb is None or report.peak_rss_kb > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_bench(workloads=["nope"], repeat=1, quiet=True)
+
+    def test_bad_repeat_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            run_bench(workloads=["engine"], repeat=0, quiet=True)
+
+    def test_write_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(WORKLOADS, "engine",
+                            lambda: engine_stress(n_rounds=500))
+        report = run_bench(workloads=["engine"], repeat=1, quiet=True)
+        path = report.write(str(tmp_path / "bench.json"))
+        doc = json.loads(open(path).read())
+        assert doc == json.loads(json.dumps(report.to_dict()))
+
+
+class TestCli:
+    def test_bench_subcommand_writes_default_path(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setitem(WORKLOADS, "engine",
+                            lambda: engine_stress(n_rounds=500))
+        rc = main(["bench", "--repeat", "1", "--workloads", "engine",
+                   "--json"])
+        assert rc == 0
+        doc = json.loads((tmp_path / DEFAULT_REPORT_PATH).read_text())
+        assert doc["workloads"]["engine"]["events_per_sec"] > 0
+        out = capsys.readouterr().out
+        assert "engine" in out and DEFAULT_REPORT_PATH in out
+
+    def test_bench_subcommand_explicit_path(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.setitem(WORKLOADS, "engine",
+                            lambda: engine_stress(n_rounds=500))
+        target = tmp_path / "custom.json"
+        rc = main(["bench", "--repeat", "1", "--workloads", "engine",
+                   "--json", str(target)])
+        assert rc == 0
+        assert json.loads(target.read_text())["repeat"] == 1
+
+    def test_bench_rejects_bad_repeat(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeat", "0"])

@@ -1,0 +1,179 @@
+"""Tests for the engine hot-path optimizations: call_later + event
+pooling, batched run() determinism, and the run_until_event reentrancy
+guard (regression)."""
+
+import random
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+from repro.sim.engine import _POOL_MAX, PRIORITY_NORMAL, PRIORITY_URGENT
+
+
+class TestCallLater:
+    def test_runs_callback_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(5, seen.append, "x")
+        sim.run()
+        assert seen == ["x"] and sim.now == 5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-1, lambda: None)
+
+    def test_priority_orders_same_tick(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(10, order.append, "normal")
+        sim.call_later(10, order.append, "high", priority=PRIORITY_URGENT)
+        sim.run()
+        assert order == ["high", "normal"]
+
+    def test_interleaves_with_schedule_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "a")
+        sim.call_later(10, order.append, "b")
+        sim.schedule(10, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_events_recycled_through_pool(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.call_later(1, lambda: None)
+        sim.run()
+        # All ten callback events returned to the freelist and at most
+        # one object was ever allocated per concurrently pending slot.
+        assert 1 <= len(sim._pool) <= 10
+
+    def test_pool_is_bounded(self):
+        sim = Simulator()
+        for _ in range(_POOL_MAX + 50):
+            sim.call_later(0, lambda: None)
+        sim.run()
+        assert len(sim._pool) <= _POOL_MAX
+
+    def test_reentrant_call_later_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append("outer")
+            sim.call_later(3, seen.append, "inner")
+
+        sim.call_later(1, outer)
+        sim.run()
+        assert seen == ["outer", "inner"] and sim.now == 4
+
+    def test_events_processed_counts_all_pops(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.call_later(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestRunDeterminism:
+    """run()'s batched drain must pop the exact sequence repeated step()
+    would -- the ordering contract golden fixtures depend on."""
+
+    @staticmethod
+    def _seeded_workload(sim, seed):
+        rng = random.Random(seed)
+        sig = []
+        sim.add_step_probe(
+            lambda t, prio, tie, seq, ev: sig.append((t, prio, tie, seq)))
+
+        def chain(depth):
+            if depth > 0:
+                for _ in range(rng.randint(1, 3)):
+                    sim.call_later(rng.randint(0, 4), chain, depth - 1,
+                                   priority=rng.choice(
+                                       (PRIORITY_URGENT, PRIORITY_NORMAL,
+                                        PRIORITY_NORMAL)))
+
+        for _ in range(20):
+            sim.call_later(rng.randint(0, 10), chain, 3)
+        return sig
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 17])
+    def test_run_matches_stepping(self, seed):
+        sim_run = Simulator()
+        sig_run = self._seeded_workload(sim_run, seed)
+        sim_run.run()
+
+        sim_step = Simulator()
+        sig_step = self._seeded_workload(sim_step, seed)
+        while sim_step.peek() is not None:
+            sim_step.step()
+
+        assert sig_run == sig_step
+        assert sim_run.now == sim_step.now
+
+    @pytest.mark.parametrize("seed", [3, 29])
+    def test_run_until_matches_stepping(self, seed):
+        sim_run = Simulator()
+        sig_run = self._seeded_workload(sim_run, seed)
+        sim_run.run(until=8)
+
+        sim_step = Simulator()
+        sig_step = self._seeded_workload(sim_step, seed)
+        while sim_step.peek() is not None and sim_step.peek() <= 8:
+            sim_step.step()
+
+        assert sig_run == sig_step
+        assert sim_run.now == 8
+
+    def test_probe_added_mid_run_is_honored(self):
+        sim = Simulator()
+        late = []
+
+        def attach():
+            sim.add_step_probe(
+                lambda t, prio, tie, seq, ev: late.append(t))
+
+        sim.call_later(1, attach)
+        sim.call_later(5, lambda: None)
+        sim.run()
+        assert late == [5]
+
+
+class TestRunUntilEventReentrancy:
+    def test_nested_run_until_event_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            inner = sim.timeout(1)
+            try:
+                sim.run_until_event(inner)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.call_later(1, nested)
+        sim.run_until_event(sim.timeout(10))
+        assert len(errors) == 1
+        assert "not reentrant" in str(errors[0])
+
+    def test_run_until_event_inside_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run_until_event(sim.timeout(1))
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.call_later(1, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_guard_released_after_completion(self):
+        sim = Simulator()
+        sim.run_until_event(sim.timeout(5))
+        sim.run_until_event(sim.timeout(5))
+        assert sim.now == 10

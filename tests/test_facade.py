@@ -1,0 +1,74 @@
+"""The public API facade: blessed names on ``repro``, lazy loading,
+deep-import compatibility, and the ``repro.api`` ``__all__`` audit."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestFacade:
+    def test_every_blessed_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    def test_dir_includes_lazy_names(self):
+        listing = dir(repro)
+        for name in ("Cluster", "Experiment", "GpuTnEndpoint",
+                     "attach_metrics", "run_bench"):
+            assert name in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+            repro.nonsense
+
+    @pytest.mark.parametrize("name, module", [
+        ("Cluster", "repro.cluster"),
+        ("Experiment", "repro.runtime"),
+        ("Observers", "repro.runtime"),
+        ("RunRecord", "repro.runtime"),
+        ("Sweep", "repro.runtime"),
+        ("FaultPlan", "repro.faults"),
+        ("GpuTnEndpoint", "repro.api"),
+        ("attach_metrics", "repro.metrics"),
+        ("MetricsRegistry", "repro.metrics"),
+        ("discrete_gpu_config", "repro.presets"),
+        ("run_bench", "repro.bench"),
+    ])
+    def test_facade_is_same_object_as_deep_import(self, name, module):
+        # The facade re-exports; it must never fork an implementation.
+        assert getattr(repro, name) is getattr(
+            importlib.import_module(module), name)
+
+    def test_default_config_eagerly_importable(self):
+        from repro import SystemConfig, default_config
+
+        assert isinstance(default_config(), SystemConfig)
+
+    def test_facade_quickstart_shape(self):
+        # The README quickstart, end to end at smoke size.
+        from repro import Cluster, GpuTnEndpoint, default_config
+
+        cluster = Cluster(n_nodes=2, config=default_config())
+        ep = GpuTnEndpoint(cluster[0])
+        assert ep.node is cluster[0]
+
+
+class TestApiAll:
+    def test_api_all_resolves_and_is_sorted(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+        assert list(api.__all__) == sorted(set(api.__all__))
+
+    def test_shmem_exports_audited(self):
+        import repro.api as api
+        from repro.api.shmem import ShmemContext, shmem_barrier_all
+
+        assert api.ShmemContext is ShmemContext
+        assert api.shmem_barrier_all is shmem_barrier_all

@@ -39,7 +39,7 @@ class TestGoldenSafety:
         plain = MicrobenchExperiment().run(params)
         armed = MicrobenchExperiment().execute(
             params,
-            instrument=lambda cluster: cluster.attach_faults(FaultConfig()),
+            observers=lambda cluster: cluster.attach_faults(FaultConfig()),
         ).record
         assert plain.to_json() == armed.to_json()
         assert "transport" not in plain.to_json()

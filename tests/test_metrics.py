@@ -14,6 +14,7 @@ import pytest
 
 from repro.apps.degraded import DegradedExperiment
 from repro.apps.microbench import MicrobenchExperiment
+from repro.runtime import Observers
 from repro.metrics import (
     Counter,
     Gauge,
@@ -173,8 +174,11 @@ class TestRegistry:
 
 # ------------------------------------------------------------- instrumentation
 def _microbench(metrics=None):
+    from repro.runtime import Observers
+
+    observers = Observers(metrics=metrics) if metrics is not None else None
     return MicrobenchExperiment().execute({"strategy": "gputn"},
-                                          metrics=metrics)
+                                          observers=observers)
 
 
 class TestAttachMetrics:
@@ -230,7 +234,8 @@ class TestAttachMetrics:
     def test_transport_counters_populate_under_loss(self):
         reg = MetricsRegistry()
         DegradedExperiment().execute(
-            {"strategy": "gputn", "loss": 0.05, "messages": 32}, metrics=reg)
+            {"strategy": "gputn", "loss": 0.05, "messages": 32},
+            observers=Observers(metrics=reg))
         counters = reg.dump()["counters"]
         assert counters["node0.transport.tx_data"] >= 32
         assert counters["node1.transport.accepts"] >= 1
@@ -245,8 +250,8 @@ class TestDegradedAgreement:
         the study's exact numpy percentiles within log2-bucket rounding
         (a factor of two)."""
         reg = MetricsRegistry()
-        execution = DegradedExperiment().execute({"strategy": "gputn"},
-                                                 metrics=reg)
+        execution = DegradedExperiment().execute(
+            {"strategy": "gputn"}, observers=Observers(metrics=reg))
         m = execution.record.metrics
         hist = reg.dump()["histograms"]["app.message_latency_ns"]
         assert hist["count"] == m["delivered"] == 64
@@ -262,7 +267,7 @@ class TestCounterTracks:
     def test_series_become_counter_events(self):
         reg = MetricsRegistry()
         execution = MicrobenchExperiment().execute(
-            {"strategy": "gputn"}, trace=True, metrics=reg)
+            {"strategy": "gputn"}, trace=True, observers=Observers(metrics=reg))
         doc = chrome_trace(execution.cluster.tracer, metrics=reg)
         events = doc["traceEvents"]
         counters = [e for e in events if e["ph"] == "C"]

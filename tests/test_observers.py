@@ -1,0 +1,130 @@
+"""The Observers bundle and the execute()/run() deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.apps.microbench import MicrobenchExperiment
+from repro.config import FaultConfig, ReliabilityConfig
+from repro.metrics import MetricsRegistry
+from repro.runtime import Observers
+
+PARAMS = {"strategy": "gputn"}
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert Observers.coerce(None) is None
+
+    def test_observers_passes_through(self):
+        obs = Observers()
+        assert Observers.coerce(obs) is obs
+
+    def test_registry_becomes_metrics(self):
+        reg = MetricsRegistry()
+        obs = Observers.coerce(reg)
+        assert obs.metrics is reg and obs.instruments == ()
+
+    def test_callable_becomes_instrument(self):
+        fn = lambda cluster: None
+        obs = Observers.coerce(fn)
+        assert obs.instruments == (fn,)
+
+    def test_iterable_becomes_instruments(self):
+        fns = [lambda c: None, lambda c: None]
+        obs = Observers.coerce(fns)
+        assert obs.instruments == tuple(fns)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            Observers.coerce(42)
+
+    def test_non_callable_instrument_rejected(self):
+        with pytest.raises(TypeError, match="not callable"):
+            Observers(instruments=("nope",))
+
+
+class TestArm:
+    def test_empty_bundle_is_invisible(self):
+        baseline = MicrobenchExperiment().run(PARAMS)
+        armed = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers()).record
+        assert armed.to_json() == baseline.to_json()
+
+    def test_metrics_true_builds_registry(self):
+        execution = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers(metrics=True))
+        assert execution.record.telemetry["counters"]["sim.events"] > 0
+
+    def test_metrics_registry_collects(self):
+        reg = MetricsRegistry()
+        execution = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers(metrics=reg))
+        assert execution.cluster.metrics is reg
+        assert execution.record.telemetry == reg.dump()
+
+    def test_instruments_run_in_order_on_cluster(self):
+        seen = []
+        MicrobenchExperiment().execute(PARAMS, observers=Observers(
+            instruments=(lambda c: seen.append(("a", c)),
+                         lambda c: seen.append(("b", c)))))
+        assert [tag for tag, _ in seen] == ["a", "b"]
+        assert seen[0][1] is seen[1][1]
+
+    def test_reliability_armed_before_traffic(self):
+        execution = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers(reliability=ReliabilityConfig()))
+        nic = execution.cluster[0].nic
+        assert nic.transport is not None
+        assert execution.record.transport  # counters flowed
+
+    def test_faults_config_builds_seeded_plan(self):
+        execution = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers(
+                faults=FaultConfig(), fault_seed=3,
+                reliability=True))
+        assert execution.cluster.fabric.interposer is not None
+
+
+class TestDeprecationShims:
+    def test_execute_instrument_warns_and_still_arms(self):
+        seen = []
+        with pytest.warns(DeprecationWarning, match="instrument=.*deprecated"):
+            MicrobenchExperiment().execute(
+                PARAMS, instrument=lambda c: seen.append(c))
+        assert len(seen) == 1
+
+    def test_execute_metrics_warns_and_still_collects(self):
+        reg = MetricsRegistry()
+        with pytest.warns(DeprecationWarning, match="metrics=.*deprecated"):
+            execution = MicrobenchExperiment().execute(PARAMS, metrics=reg)
+        assert execution.record.telemetry == reg.dump()
+        assert reg.dump()["counters"]["sim.events"] > 0
+
+    def test_run_metrics_warns(self):
+        with pytest.warns(DeprecationWarning, match="metrics=.*deprecated"):
+            record = MicrobenchExperiment().run(
+                PARAMS, metrics=MetricsRegistry())
+        assert record.telemetry["counters"]["sim.events"] > 0
+
+    def test_shim_equivalent_to_observers(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = MicrobenchExperiment().execute(
+                PARAMS, metrics=MetricsRegistry()).record
+        modern = MicrobenchExperiment().execute(
+            PARAMS, observers=Observers(metrics=MetricsRegistry())).record
+        assert legacy.to_json() == modern.to_json()
+
+    def test_double_metrics_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="both"):
+                MicrobenchExperiment().execute(
+                    PARAMS, metrics=MetricsRegistry(),
+                    observers=Observers(metrics=MetricsRegistry()))
+
+    def test_observers_keyword_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            MicrobenchExperiment().execute(
+                PARAMS, observers=Observers(metrics=MetricsRegistry()))
