@@ -47,6 +47,8 @@ __all__ = [
     "Experiment",
     "FaultPlan",
     "GpuTnEndpoint",
+    "Job",
+    "JobStore",
     "MetricsRegistry",
     "Observers",
     "ResultCache",
@@ -71,6 +73,8 @@ _LAZY = {
     "Experiment": ("repro.runtime", "Experiment"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "GpuTnEndpoint": ("repro.api", "GpuTnEndpoint"),
+    "Job": ("repro.service", "Job"),
+    "JobStore": ("repro.service", "JobStore"),
     "MetricsRegistry": ("repro.metrics", "MetricsRegistry"),
     "Observers": ("repro.runtime", "Observers"),
     "ResultCache": ("repro.runtime", "ResultCache"),

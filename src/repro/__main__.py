@@ -27,6 +27,17 @@ go-back-N reliable transport armed (see :mod:`repro.faults`)::
     python -m repro faults --workloads allreduce --fail-fast --json out.json
     python -m repro faults --degraded               # goodput/p99 vs loss rate
 
+The ``jobs`` subcommand is the resumable face of the same campaigns: it
+journals every completed case into a job store (``.repro-jobs/`` by
+default, override with ``$REPRO_JOBS_DIR``), streams per-case progress,
+and survives SIGINT/SIGTERM -- a preempted job resumes from the journal,
+re-running only the cases that never finished (see :mod:`repro.service`)::
+
+    python -m repro jobs submit validate --seeds 500 --jobs 8
+    python -m repro jobs status                     # every stored job
+    python -m repro jobs status <job-id>
+    python -m repro jobs resume <job-id> --jobs 8
+
 The ``stats`` subcommand runs a workload with a
 :class:`repro.metrics.MetricsRegistry` attached and prints the
 per-component hardware breakdown -- FIFO depths, CU occupancy, per-link
@@ -80,45 +91,96 @@ _SWEEPING = {"fig1", "fig9", "fig10", "fig11"}
 _TRACEABLE = {"fig8"}
 
 
-def _validate_main(argv) -> int:
-    from repro.validate import FUZZ_WORKLOADS, run_campaign
-
-    parser = argparse.ArgumentParser(
-        prog="python -m repro validate",
-        description="Fuzz event schedules and timing knobs over the paper's "
-                    "workloads with every DESIGN.md §6 invariant monitor "
-                    "armed.  Any failure replays from its (workload, seed) "
-                    "pair alone.")
-    parser.add_argument("--seeds", type=int, default=100, metavar="N",
-                        help="fuzz cases per workload (default: 100)")
-    parser.add_argument("--seed-start", type=int, default=0, metavar="S",
-                        help="first seed of the range (default: 0)")
-    parser.add_argument("--workloads", nargs="+", choices=list(FUZZ_WORKLOADS),
-                        default=list(FUZZ_WORKLOADS), metavar="W",
-                        help=f"subset of {list(FUZZ_WORKLOADS)} (default: all)")
+# --------------------------------------------------------------- shared args
+def add_jobs_arg(parser: argparse.ArgumentParser,
+                 help: str = "worker processes (results identical to -j 1)"
+                 ) -> None:
+    """The one ``--jobs`` flag every sweeping subcommand shares."""
     parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (results identical to -j 1)")
-    parser.add_argument("--fail-fast", action="store_true",
-                        help="stop scheduling new batches after the first "
-                             "failing case")
-    parser.add_argument("--json", metavar="FILE", default=None,
-                        help="write the full campaign report as JSON")
-    args = parser.parse_args(argv)
-    if args.seeds < 1:
-        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+                        help=help)
+
+
+def check_jobs_arg(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> None:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    report = run_campaign(workloads=args.workloads, seeds=args.seeds,
-                          seed_start=args.seed_start, jobs=args.jobs,
-                          fail_fast=args.fail_fast)
+
+def add_campaign_args(parser: argparse.ArgumentParser, *,
+                      workloads, seeds_default: int) -> None:
+    """The seeded-campaign surface shared by ``validate``/``faults``
+    (and their ``jobs submit`` spellings)."""
+    parser.add_argument("--seeds", type=int, default=seeds_default,
+                        metavar="N",
+                        help=f"cases per workload (default: {seeds_default})")
+    parser.add_argument("--seed-start", type=int, default=0, metavar="S",
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--workloads", nargs="+", choices=list(workloads),
+                        default=list(workloads), metavar="W",
+                        help=f"subset of {list(workloads)} (default: all)")
+    add_jobs_arg(parser)
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop dispatching new cases after the first "
+                             "failing case (in-flight cases still finish)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="reuse case records across campaigns via a "
+                             "ResultCache at DIR (hit/miss tally lands in "
+                             "the summary and the --json report)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full campaign report as JSON")
+
+
+def check_campaign_args(parser: argparse.ArgumentParser,
+                        args: argparse.Namespace) -> None:
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    check_jobs_arg(parser, args)
+
+
+# ----------------------------------------------------------------- campaigns
+def _campaign_kind(kind: str):
+    """Late-bound campaign plumbing: (workloads, runner, seeds, blurb)."""
+    if kind == "validate":
+        from repro.validate import FUZZ_WORKLOADS, run_campaign
+        return FUZZ_WORKLOADS, run_campaign, 100, (
+            "Fuzz event schedules and timing knobs over the paper's "
+            "workloads with every DESIGN.md §6 invariant monitor armed.  "
+            "Any failure replays from its (workload, seed) pair alone.")
+    from repro.faults import FAULT_WORKLOADS, run_faults_campaign
+    return FAULT_WORKLOADS, run_faults_campaign, 25, (
+        "Run seeded fault-injection campaigns: per-seed "
+        "drop/corruption/jitter/flap/stall scenarios on the fabric, the "
+        "go-back-N reliable transport armed on every NIC, and all "
+        "invariant monitors (including reliable-delivery) watching.  "
+        "Any failure replays from its (workload, seed) pair alone.")
+
+
+def _campaign_progress(event) -> None:
+    """One line per resolved case, streamed as the service reports it."""
+    m = event.record.metrics
+    if "workload" in m and "seed" in m:
+        what = f"{m['workload']} seed={m['seed']}"
+        marker = "ok" if m.get("ok") else "FAIL"
+    else:
+        what = f"{event.record.experiment}[{event.index}]"
+        marker = "done"
+    src = "" if event.source == "run" else f" [{event.source}]"
+    print(f"[{event.done}/{event.total}] {what} {marker}{src}", flush=True)
+
+
+def _print_campaign_report(kind: str, report, json_path=None) -> int:
+    """Shared summary/failure/json rendering for both campaign kinds."""
     for workload, (passed, total) in sorted(report.by_workload().items()):
         marker = "ok  " if passed == total else "FAIL"
         print(f"{marker} {workload:<12} {passed}/{total} cases clean")
+    if kind == "faults" and report.gave_up:
+        print(f"note: {len(report.gave_up)} case(s) exhausted the retry "
+              "budget and died cleanly with TransportError (still a pass)")
+    scenario_key = "knobs" if kind == "validate" else "faults"
     for record in report.failures:
         m = record.metrics
         print(f"\nFAIL {m['workload']} seed={m['seed']} "
-              f"params={m['inner_params']} knobs={m['knobs']}")
+              f"params={m['inner_params']} {scenario_key}={m[scenario_key]}")
         if m["violation"]:
             v = m["violation"]
             print(f"  [{v['invariant']}] {v['message']}")
@@ -126,93 +188,155 @@ def _validate_main(argv) -> int:
                 print(f"    {line}")
         if m["crash"]:
             print(f"  crash: {m['crash']}")
-        print(f"  replay: python -m repro validate --workloads "
+        print(f"  replay: python -m repro {kind} --workloads "
               f"{m['workload']} --seeds 1 --seed-start {m['seed']}")
-    if args.json:
+    if json_path:
         import json
 
-        with open(args.json, "w", encoding="utf-8") as fh:
+        with open(json_path, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        print(f"\nreport written to {args.json}")
+        print(f"\nreport written to {json_path}")
+    if report.cache_stats is not None:
+        print(f"\ncache: {report.cache_stats['hits']} hits, "
+              f"{report.cache_stats['misses']} misses")
     total_failed = len(report.failures)
     print(f"\n{report.total - total_failed}/{report.total} cases clean"
           + (f", {total_failed} FAILED" if total_failed else ""))
     return 0 if report.ok else 1
 
 
-def _faults_main(argv) -> int:
-    from repro.faults import FAULT_WORKLOADS, run_faults_campaign
-
-    parser = argparse.ArgumentParser(
-        prog="python -m repro faults",
-        description="Run seeded fault-injection campaigns: per-seed "
-                    "drop/corruption/jitter/flap/stall scenarios on the "
-                    "fabric, the go-back-N reliable transport armed on "
-                    "every NIC, and all invariant monitors (including "
-                    "reliable-delivery) watching.  Any failure replays "
-                    "from its (workload, seed) pair alone.")
-    parser.add_argument("--seeds", type=int, default=25, metavar="N",
-                        help="fault cases per workload (default: 25)")
-    parser.add_argument("--seed-start", type=int, default=0, metavar="S",
-                        help="first seed of the range (default: 0)")
-    parser.add_argument("--workloads", nargs="+", choices=list(FAULT_WORKLOADS),
-                        default=list(FAULT_WORKLOADS), metavar="W",
-                        help=f"subset of {list(FAULT_WORKLOADS)} (default: all)")
-    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (results identical to -j 1)")
-    parser.add_argument("--fail-fast", action="store_true",
-                        help="stop scheduling new batches after the first "
-                             "failing case")
-    parser.add_argument("--json", metavar="FILE", default=None,
-                        help="write the full campaign report as JSON")
-    parser.add_argument("--degraded", action="store_true",
-                        help="instead of a campaign, run the degraded-mode "
-                             "study: goodput and p50/p99 latency per "
-                             "strategy across loss rates")
+def _campaign_main(kind: str, argv, store=None, echo: bool = False) -> int:
+    workloads, runner, seeds_default, description = _campaign_kind(kind)
+    parser = argparse.ArgumentParser(prog=f"python -m repro {kind}",
+                                     description=description)
+    add_campaign_args(parser, workloads=workloads,
+                      seeds_default=seeds_default)
+    if kind == "faults":
+        parser.add_argument("--degraded", action="store_true",
+                            help="instead of a campaign, run the "
+                                 "degraded-mode study: goodput and p50/p99 "
+                                 "latency per strategy across loss rates")
     args = parser.parse_args(argv)
-    if args.seeds < 1:
-        parser.error(f"--seeds must be >= 1, got {args.seeds}")
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    check_campaign_args(parser, args)
 
-    if args.degraded:
+    if kind == "faults" and args.degraded:
         from repro.apps.degraded import degraded_report
 
         degraded_report(jobs=args.jobs)
         return 0
 
-    report = run_faults_campaign(workloads=args.workloads, seeds=args.seeds,
-                                 seed_start=args.seed_start, jobs=args.jobs,
-                                 fail_fast=args.fail_fast)
-    for workload, (passed, total) in sorted(report.by_workload().items()):
-        marker = "ok  " if passed == total else "FAIL"
-        print(f"{marker} {workload:<12} {passed}/{total} cases clean")
-    if report.gave_up:
-        print(f"note: {len(report.gave_up)} case(s) exhausted the retry "
-              "budget and died cleanly with TransportError (still a pass)")
-    for record in report.failures:
-        m = record.metrics
-        print(f"\nFAIL {m['workload']} seed={m['seed']} "
-              f"params={m['inner_params']} faults={m['faults']}")
-        if m["violation"]:
-            v = m["violation"]
-            print(f"  [{v['invariant']}] {v['message']}")
-            for line in v.get("context", ()):
-                print(f"    {line}")
-        if m["crash"]:
-            print(f"  crash: {m['crash']}")
-        print(f"  replay: python -m repro faults --workloads "
-              f"{m['workload']} --seeds 1 --seed-start {m['seed']}")
-    if args.json:
-        import json
+    from repro.service import JobPreempted
 
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        print(f"\nreport written to {args.json}")
-    total_failed = len(report.failures)
-    print(f"\n{report.total - total_failed}/{report.total} cases clean"
-          + (f", {total_failed} FAILED" if total_failed else ""))
-    return 0 if report.ok else 1
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = runner(workloads=args.workloads, seeds=args.seeds,
+                        seed_start=args.seed_start, jobs=args.jobs,
+                        fail_fast=args.fail_fast, cache=cache, store=store,
+                        progress=_campaign_progress if echo else None)
+    except JobPreempted as preempt:
+        print(f"\npreempted at {preempt.done}/{preempt.total} cases; resume "
+              f"with: python -m repro jobs resume {preempt.job_id}",
+              flush=True)
+        return 130
+    return _print_campaign_report(kind, report, args.json)
+
+
+# ---------------------------------------------------------------------- jobs
+def _jobs_main(argv) -> int:
+    from repro.service import Job, JobPreempted, JobStore
+
+    commands = ("submit", "status", "list", "resume")
+    if not argv or argv[0] not in commands:
+        print(f"usage: python -m repro jobs {{{','.join(commands)}}} ...\n"
+              "  submit {validate,faults} [--store DIR] [campaign args]\n"
+              "  status [JOB_ID] [--store DIR] [--json]\n"
+              "  resume JOB_ID [--store DIR] [-j N] [--json FILE]",
+              file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+
+    if command == "submit":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro jobs submit",
+            description="Submit a journaled campaign job and run it; every "
+                        "completed case lands in the job store, so a killed "
+                        "or preempted campaign resumes from where it "
+                        "stopped.")
+        parser.add_argument("kind", choices=["validate", "faults"])
+        parser.add_argument("--store", metavar="DIR", default=None,
+                            help="job store root (default: .repro-jobs, or "
+                                 "$REPRO_JOBS_DIR)")
+        args, campaign_argv = parser.parse_known_args(rest)
+        return _campaign_main(args.kind, campaign_argv,
+                              store=JobStore(args.store), echo=True)
+
+    if command in ("status", "list"):
+        parser = argparse.ArgumentParser(
+            prog=f"python -m repro jobs {command}",
+            description="Show stored jobs (or one job's detail).")
+        parser.add_argument("job_id", nargs="?", default=None)
+        parser.add_argument("--store", metavar="DIR", default=None)
+        parser.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+        args = parser.parse_args(rest)
+        store = JobStore(args.store)
+        job_ids = [args.job_id] if args.job_id else store.jobs()
+        try:
+            rows = [Job.load(store, job_id).status() for job_id in job_ids]
+        except KeyError as missing:
+            print(missing.args[0], file=sys.stderr)
+            return 1
+        if args.json:
+            import json
+
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif not rows:
+            print(f"no jobs in {store.root}")
+        else:
+            for row in rows:
+                print(f"{row['job_id']}  {row['status']:<10} "
+                      f"{row.get('journaled', 0)}/{row['total']} journaled  "
+                      f"{row['experiment']}")
+        return 0
+
+    # resume
+    parser = argparse.ArgumentParser(
+        prog="python -m repro jobs resume",
+        description="Continue a stored job: journaled cases replay for "
+                    "free, only the holes execute.")
+    parser.add_argument("job_id")
+    parser.add_argument("--store", metavar="DIR", default=None)
+    add_jobs_arg(parser)
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the campaign report as JSON")
+    args = parser.parse_args(rest)
+    check_jobs_arg(parser, args)
+    store = JobStore(args.store)
+    try:
+        job = Job.load(store, args.job_id)
+    except KeyError as missing:
+        print(missing.args[0], file=sys.stderr)
+        return 1
+    try:
+        records = job.run(jobs=args.jobs, progress=_campaign_progress)
+    except JobPreempted as preempt:
+        print(f"\npreempted at {preempt.done}/{preempt.total} cases; resume "
+              f"with: python -m repro jobs resume {preempt.job_id}",
+              flush=True)
+        return 130
+    done = [r for r in records if r is not None]
+    print(f"\njob {job.id} {job.status()['status']}: "
+          f"{job.stats['journal']} journaled, {job.stats['cache']} cached, "
+          f"{job.stats['run']} ran")
+    kind = job.spec.experiment
+    if kind in ("validate", "faults"):
+        if kind == "validate":
+            from repro.validate.fuzz import FuzzReport as Report
+        else:
+            from repro.faults.campaign import FaultsReport as Report
+        return _print_campaign_report(kind, Report(records=done), args.json)
+    print(f"{len(done)}/{len(records)} points complete")
+    return 0
 
 
 def _stats_workloads():
@@ -337,9 +461,11 @@ def _stats_main(argv) -> int:
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["validate"]:
-        return _validate_main(argv[1:])
+        return _campaign_main("validate", argv[1:])
     if argv[:1] == ["faults"]:
-        return _faults_main(argv[1:])
+        return _campaign_main("faults", argv[1:])
+    if argv[:1] == ["jobs"]:
+        return _jobs_main(argv[1:])
     if argv[:1] == ["stats"]:
         return _stats_main(argv[1:])
     if argv[:1] == ["bench"]:
@@ -350,9 +476,8 @@ def main(argv=None) -> int:
                     "Intra-Kernel Communications' (SC17).")
     parser.add_argument("exhibits", nargs="*", choices=[*_EXHIBITS, []],
                         help=f"subset to run (default: all of {list(_EXHIBITS)})")
-    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
-                        help="fan sweep points out over N worker processes "
-                             "(results are bit-identical to -j 1)")
+    add_jobs_arg(parser, help="fan sweep points out over N worker processes "
+                              "(results are bit-identical to -j 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not update the on-disk result cache")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -362,8 +487,7 @@ def main(argv=None) -> int:
                         help="write Chrome trace-event JSON for traceable "
                              "exhibits (fig8) into DIR")
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    check_jobs_arg(parser, args)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     picks = args.exhibits or list(_EXHIBITS)
@@ -380,6 +504,11 @@ def main(argv=None) -> int:
         if key in _TRACEABLE and args.export_trace:
             kwargs["export_dir"] = args.export_trace
         fn(**kwargs)
+    if cache is not None and (cache.hits or cache.misses):
+        # stderr: exhibit stdout must stay byte-identical across cached
+        # and uncached reruns.
+        print(f"cache: {cache.hits} hits, {cache.misses} misses",
+              file=sys.stderr)
     return 0
 
 

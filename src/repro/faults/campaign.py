@@ -290,6 +290,9 @@ class FaultsReport:
     """Outcome of one campaign: per-case records plus failure rollups."""
 
     records: List[RunRecord] = field(default_factory=list)
+    #: ``{"hits", "misses"}`` of the campaign's ResultCache, or ``None``
+    #: when the campaign ran uncached.
+    cache_stats: Optional[Dict[str, int]] = None
 
     @property
     def total(self) -> int:
@@ -321,6 +324,7 @@ class FaultsReport:
         return {
             "ok": self.ok,
             "total": self.total,
+            "cache": self.cache_stats,
             "gave_up": len(self.gave_up),
             "by_workload": {w: {"passed": p, "total": t}
                             for w, (p, t) in sorted(self.by_workload().items())},
@@ -341,25 +345,36 @@ class FaultsReport:
 def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
                         seeds: int = 25, seed_start: int = 0, jobs: int = 1,
                         config: Optional[SystemConfig] = None,
-                        fail_fast: bool = False) -> FaultsReport:
+                        fail_fast: bool = False, cache: Optional[Any] = None,
+                        store: Optional[Any] = None,
+                        progress: Optional[Any] = None) -> FaultsReport:
     """Run ``seeds`` fault cases per workload, all monitors armed.
 
-    With ``fail_fast`` the campaign stops scheduling new batches after the
-    first failing case (already-running batch members still finish, so
-    parallel results stay deterministic).
+    The campaign is one :class:`repro.service.Job`: pass ``store`` (a
+    :class:`~repro.service.store.JobStore` or path) to journal it --
+    killing the campaign then resuming re-runs only incomplete cases --
+    and ``cache`` to reuse case records across campaigns.  ``progress``
+    receives one :class:`~repro.service.job.PointDone` per finished case.
+    With ``fail_fast`` the first failing case cancels the job
+    cooperatively: no new cases are dispatched, in-flight cases still
+    finish, so parallel results stay deterministic.
     """
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
+    from repro.service.job import Job
+
     points = [{"workload": w, "seed": s}
               for w in workloads
               for s in range(seed_start, seed_start + seeds)]
-    experiment = FaultsExperiment()
-    report = FaultsReport()
-    batch = max(8, jobs * 8) if fail_fast else len(points)
-    for lo in range(0, len(points), batch):
-        records = Sweep(experiment, points=points[lo:lo + batch]).run(
-            config=config, jobs=jobs)
-        report.records.extend(records)
-        if fail_fast and any(not r.metrics["ok"] for r in records):
-            break
-    return report
+    job = Job.from_sweep(Sweep(FaultsExperiment(), points=points),
+                         config=config, cache=cache, store=store)
+
+    def on_point(event) -> None:
+        if progress is not None:
+            progress(event)
+        if fail_fast and not event.record.metrics["ok"]:
+            job.cancel()
+
+    records = job.run(jobs=jobs, progress=on_point)
+    return FaultsReport(records=[r for r in records if r is not None],
+                        cache_stats=cache.stats() if cache is not None else None)

@@ -5,7 +5,10 @@ exactly the inputs that determine a simulated result -- so re-rendering a
 figure after an unrelated edit is free while a config or parameter change
 misses cleanly.  Records are stored as canonical JSON, one file per key,
 fanned into 256 two-hex-digit shards.  Writes are atomic (temp file +
-rename) so concurrent sweep workers never observe torn entries.
+rename) so concurrent sweep workers never observe torn entries -- the
+property the service layer leans on: parallel sweep workers write
+through to the cache from their own processes (and may be SIGKILLed
+mid-``put``), while the submitting process probes it concurrently.
 """
 
 from __future__ import annotations
@@ -79,6 +82,11 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def stats(self) -> dict:
+        """This object's lookup tally, as reported in sweep/campaign
+        summaries and ``--json`` outputs: ``{"hits", "misses"}``."""
+        return {"hits": self.hits, "misses": self.misses}
 
     # ------------------------------------------------------------- housekeeping
     def clear(self) -> int:

@@ -6,10 +6,11 @@ config, build a :class:`~repro.cluster.Cluster`, spawn per-node flows,
 ad-hoc result object.  :class:`Experiment` captures that lifecycle once;
 concrete experiments implement only the hooks that differ.
 
-Experiments must be picklable (they are shipped to ``multiprocessing``
-workers by :class:`~repro.runtime.sweep.Sweep`), so they hold no cluster
-or simulator state -- everything transient lives in the per-run context
-dict threaded through the hooks.
+Experiments must be picklable: :mod:`repro.service` ships each sweep
+worker the experiment + config working set exactly once (pool
+initializer) and journals it with stored jobs, so experiments hold no
+cluster or simulator state -- everything transient lives in the per-run
+context dict threaded through the hooks.
 """
 
 from __future__ import annotations

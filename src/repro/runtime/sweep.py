@@ -1,34 +1,35 @@
-"""Declarative parameter sweeps with process-parallel execution.
+"""Declarative parameter sweeps, executed by the service layer.
 
 A :class:`Sweep` names an :class:`~repro.runtime.experiment.Experiment`
 and either a parameter ``grid`` (cartesian product, first key varies
-slowest) or an explicit ``points`` list.  :meth:`Sweep.run` executes every
-point and returns records **in point order** regardless of ``jobs``: the
-simulator is deterministic pure Python, each point runs in isolation, and
-``Pool.map`` preserves input order -- so parallel output is bit-identical
-to serial.  Points already present in the optional
-:class:`~repro.runtime.cache.ResultCache` are not re-run.
+slowest) or an explicit ``points`` list.  :meth:`Sweep.run` is a thin
+synchronous client of :mod:`repro.service`: it wraps the sweep in an
+ephemeral :class:`~repro.service.job.Job` and blocks until every point
+resolves.  Records come back **in point order** regardless of ``jobs``:
+the simulator is deterministic pure Python and each point runs in
+isolation, so parallel output is bit-identical to serial.  Points
+already present in the optional
+:class:`~repro.runtime.cache.ResultCache` are not re-run (cache probes
+happen in the calling process, on the caller's cache object; fresh
+records are written through from whichever process ran them).
+
+For resumable, journaled campaigns -- progress streaming, SIGINT/SIGTERM
+preemption, kill -> resume -- use :class:`repro.service.Job` directly
+(``Job.from_sweep(sweep, store=...)``).
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, cast
 
-from repro.config import SystemConfig, default_config
+from repro.config import SystemConfig
 from repro.runtime.cache import ResultCache
 from repro.runtime.experiment import Experiment
-from repro.runtime.record import RunRecord, config_fingerprint
+from repro.runtime.record import RunRecord
 
 __all__ = ["Sweep", "run_sweep"]
-
-
-def _run_point(task: Tuple[Experiment, Dict[str, Any], SystemConfig]) -> RunRecord:
-    """Module-level worker so tasks pickle under any start method."""
-    experiment, params, config = task
-    return experiment.run(params, config)
 
 
 @dataclass
@@ -59,34 +60,11 @@ class Sweep:
         """Execute the sweep; returns one record per point, in point order."""
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        config = config or default_config()
-        cfg_fp = config_fingerprint(config)
-        points = self.sweep_points()
-        records: List[Optional[RunRecord]] = [None] * len(points)
-
-        pending: List[int] = []
-        for i, point in enumerate(points):
-            hit = cache.get(self.experiment.name,
-                            self.experiment.resolve_params(point),
-                            cfg_fp) if cache is not None else None
-            if hit is not None:
-                records[i] = hit
-            else:
-                pending.append(i)
-
-        if pending:
-            tasks = [(self.experiment, points[i], config) for i in pending]
-            if jobs > 1 and len(pending) > 1:
-                with multiprocessing.Pool(min(jobs, len(pending))) as pool:
-                    fresh = pool.map(_run_point, tasks)
-            else:
-                fresh = [_run_point(t) for t in tasks]
-            for i, record in zip(pending, fresh):
-                records[i] = record
-                if cache is not None:
-                    cache.put(record)
-
-        return records  # type: ignore[return-value]
+        # Imported here: repro.service is a client of the runtime, so the
+        # module-level dependency points the other way.
+        from repro.service.job import Job
+        records = Job.from_sweep(self, config=config, cache=cache).run(jobs=jobs)
+        return cast(List[RunRecord], records)
 
 
 def run_sweep(experiment: Experiment,

@@ -1,0 +1,44 @@
+"""Sweep-as-a-service: the job/queue/worker execution layer.
+
+The experiment runtime's answer to GICC-style host proxy/queue runtimes,
+one level up: a persistent service shape for *campaigns*.  Submit a
+sweep -> get a content-addressed job id -> stream per-point completions
+-> kill it any time -> resume from the journal, re-running only the
+points that never finished.
+
+* :class:`~repro.service.spec.JobSpec` -- what a job is (runner, points,
+  config fingerprint); its digest is the job id;
+* :class:`~repro.service.store.JobStore` -- on-disk spec + status + an
+  append-only completion journal (crash-safe: fsync'd lines, torn tail
+  tolerated);
+* :class:`~repro.service.queue.WorkQueue` -- shards ``(index, point)``
+  tasks over a process pool with a bounded dispatch window; the worker
+  working set ships once per worker via the pool initializer;
+* :class:`~repro.service.job.Job` -- the client handle: ``run`` /
+  ``stream`` / ``cancel``, cooperative SIGINT/SIGTERM preemption
+  (:class:`~repro.service.job.JobPreempted`), journal + cache + execute
+  resolution in point order.
+
+``Sweep.run``, the validate/faults campaign drivers and ``repro bench``
+are all thin clients of this layer; records stay byte-identical to the
+pre-service serial paths.
+"""
+
+from repro.service.job import Job, JobPreempted, PointDone
+from repro.service.queue import WorkQueue
+from repro.service.runners import BenchRunner, SweepRunner, get_runner
+from repro.service.spec import JobSpec
+from repro.service.store import JobStore, default_jobs_dir
+
+__all__ = [
+    "BenchRunner",
+    "Job",
+    "JobPreempted",
+    "JobSpec",
+    "JobStore",
+    "PointDone",
+    "SweepRunner",
+    "WorkQueue",
+    "default_jobs_dir",
+    "get_runner",
+]

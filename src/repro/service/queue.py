@@ -1,0 +1,127 @@
+"""The work queue: shard pending points across worker processes.
+
+:class:`WorkQueue` owns only *execution*; journaling, caching, progress
+and preemption policy live in :class:`~repro.service.job.Job`, which
+drives it through two callbacks:
+
+* ``on_done(index, record)`` -- invoked in the submitting process for
+  every finished point, in completion order;
+* ``should_stop()`` -- polled between dispatches; once true, no new
+  point is handed to a worker.  In-flight points still finish (and are
+  reported through ``on_done``), which is what makes cancellation and
+  preemption *cooperative*: nothing is lost, the job is simply cut short
+  at a journaled boundary.
+
+Parallel execution uses a bounded dispatch window (``2 * jobs`` tasks
+outstanding) of ``apply_async`` calls rather than one big ``Pool.map``:
+the window is what gives ``should_stop`` its bite -- a cancel request
+stops the queue within one window, not after the whole grid.  The
+worker's working set (experiment + config + cache root) ships once per
+worker via the pool initializer; each task is just ``(index, point)``.
+
+Determinism: each point is an isolated, deterministic simulation, so
+records are byte-identical regardless of worker count or completion
+order; the Job reassembles them by index into point order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.runtime.record import RunRecord
+from repro.service.runners import _worker_init, _worker_run
+
+__all__ = ["WorkQueue"]
+
+OnDone = Callable[[int, RunRecord], None]
+ShouldStop = Callable[[], bool]
+
+
+class WorkQueue:
+    """Executes ``(index, point)`` tasks for one job's runner."""
+
+    def __init__(self, runner: Any, state: Any, runner_name: str,
+                 payload: Optional[bytes], jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.runner = runner
+        self.state = state
+        self.runner_name = runner_name
+        self.payload = payload
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------ entry
+    def execute(self, pending: Sequence[int],
+                points: Sequence[Dict[str, Any]],
+                on_done: OnDone, should_stop: ShouldStop) -> None:
+        """Run every pending point (unless stopped); see module doc."""
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            self._execute_inline(pending, points, on_done, should_stop)
+        else:
+            self._execute_pool(pending, points, on_done, should_stop)
+
+    # ----------------------------------------------------------------- inline
+    def _execute_inline(self, pending: Sequence[int],
+                        points: Sequence[Dict[str, Any]],
+                        on_done: OnDone, should_stop: ShouldStop) -> None:
+        """Serial path: runs in-process against the parent's own state,
+        so e.g. cache puts land on the caller's ResultCache object and
+        bench timings pay no fork overhead."""
+        for index in pending:
+            if should_stop():
+                return
+            on_done(index, self.runner.run(self.state, index, points[index]))
+
+    # ------------------------------------------------------------------- pool
+    def _execute_pool(self, pending: Sequence[int],
+                      points: Sequence[Dict[str, Any]],
+                      on_done: OnDone, should_stop: ShouldStop) -> None:
+        if self.payload is None:
+            raise ValueError("parallel execution needs a materialized payload")
+        window = max(4, 2 * self.jobs)
+        results: _queue.Queue = _queue.Queue()
+        it = iter(pending)
+        exhausted = False
+        inflight = 0
+        error: Optional[BaseException] = None
+        with multiprocessing.Pool(
+                min(self.jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(self.runner_name, self.payload)) as pool:
+            while True:
+                # Refill the dispatch window (unless stopping or failing).
+                while (not exhausted and error is None and inflight < window
+                       and not should_stop()):
+                    try:
+                        index = next(it)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pool.apply_async(
+                        _worker_run, ((index, points[index]),),
+                        callback=lambda res: results.put(("ok", res)),
+                        error_callback=lambda exc: results.put(("err", exc)))
+                    inflight += 1
+                if inflight == 0:
+                    break
+                # The timeout keeps this loop responsive to should_stop()
+                # flipped by a signal handler while no completions arrive.
+                try:
+                    kind, payload = results.get(timeout=0.2)
+                except _queue.Empty:
+                    continue
+                inflight -= 1
+                if kind == "err":
+                    # Remember the first failure, stop dispatching, and
+                    # keep draining so journaled completions are not lost.
+                    if error is None:
+                        error = payload
+                    continue
+                index, record = payload
+                on_done(index, record)
+        if error is not None:
+            raise error

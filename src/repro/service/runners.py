@@ -1,0 +1,139 @@
+"""Runners: how one job point becomes one :class:`RunRecord`.
+
+A runner is the pluggable execution kernel of the service layer.  It is
+deliberately split into a *state* built once per process and a per-point
+``run``: the :class:`~repro.service.queue.WorkQueue` ships the pickled
+payload to each worker exactly once (pool initializer) and sends only
+``(index, point)`` per task, so a 1024-point sweep pickles its
+experiment and config once per worker instead of 1024 times.
+
+Two runners exist:
+
+* ``"sweep"`` -- runs an :class:`~repro.runtime.experiment.Experiment`
+  at one parameter point and write-through-puts the record into the
+  :class:`~repro.runtime.cache.ResultCache` *from the worker* (crash-safe:
+  puts are atomic temp-file + rename, so a worker killed mid-write never
+  leaves a readable torn entry);
+* ``"bench"`` -- times one :mod:`repro.bench` workload in-process
+  (always executed inline, never forked: wall-clock timings must not pay
+  pool overhead).
+
+Runners are registered by name so a journaled job can be resumed by a
+fresh process that only knows the name.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.experiment import Experiment
+from repro.runtime.record import RunRecord, config_fingerprint
+
+__all__ = ["BenchRunner", "SweepRunner", "get_runner"]
+
+
+# --------------------------------------------------------------------- sweep
+@dataclass
+class SweepState:
+    """Per-process working set of a sweep job."""
+
+    experiment: Experiment
+    config: SystemConfig
+    config_fp: str
+    cache: Optional[ResultCache]
+
+
+class SweepRunner:
+    """Experiment-point execution with worker-side cache write-through."""
+
+    name = "sweep"
+
+    @staticmethod
+    def payload_from_state(state: SweepState) -> bytes:
+        cache_root = str(state.cache.root) if state.cache is not None else None
+        return pickle.dumps((state.experiment, state.config, cache_root))
+
+    @staticmethod
+    def init(payload: bytes) -> SweepState:
+        experiment, config, cache_root = pickle.loads(payload)
+        cache = ResultCache(cache_root) if cache_root is not None else None
+        return SweepState(experiment=experiment, config=config,
+                          config_fp=config_fingerprint(config), cache=cache)
+
+    @staticmethod
+    def lookup(state: SweepState, point: Dict[str, Any]) -> Optional[RunRecord]:
+        """Parent-side cache probe (counts hits/misses on the caller's
+        cache object, exactly like the pre-service ``Sweep.run``)."""
+        if state.cache is None:
+            return None
+        return state.cache.get(state.experiment.name,
+                               state.experiment.resolve_params(point),
+                               state.config_fp)
+
+    @staticmethod
+    def run(state: SweepState, index: int, point: Dict[str, Any]) -> RunRecord:
+        record = state.experiment.run(point, state.config)
+        if state.cache is not None:
+            state.cache.put(record)
+        return record
+
+
+# --------------------------------------------------------------------- bench
+class BenchRunner:
+    """One :mod:`repro.bench` workload timed ``point["repeat"]`` times."""
+
+    name = "bench"
+
+    @staticmethod
+    def payload_from_state(state: None) -> bytes:
+        return b""
+
+    @staticmethod
+    def init(payload: bytes) -> None:
+        return None
+
+    @staticmethod
+    def lookup(state: None, point: Dict[str, Any]) -> Optional[RunRecord]:
+        return None  # timings are never cacheable
+
+    @staticmethod
+    def run(state: None, index: int, point: Dict[str, Any]) -> RunRecord:
+        # Imported lazily: repro.bench.harness is a *client* of the
+        # service layer, so the module-level dependency points the other
+        # way and would be circular here.
+        from repro.bench.harness import measure_workload
+        return measure_workload(point["workload"], point["repeat"])
+
+
+_RUNNERS = {SweepRunner.name: SweepRunner, BenchRunner.name: BenchRunner}
+
+
+def get_runner(name: str):
+    try:
+        return _RUNNERS[name]
+    except KeyError:
+        raise KeyError(f"unknown job runner {name!r}; "
+                       f"registered: {sorted(_RUNNERS)}") from None
+
+
+# ------------------------------------------------------------ worker plumbing
+#: (runner, state) of this worker process, set once by :func:`_worker_init`.
+_WORKER: Optional[Tuple[Any, Any]] = None
+
+
+def _worker_init(runner_name: str, payload: bytes) -> None:
+    """Pool initializer: unpickle the working set once per worker."""
+    global _WORKER
+    runner = get_runner(runner_name)
+    _WORKER = (runner, runner.init(payload))
+
+
+def _worker_run(task: Tuple[int, Dict[str, Any]]) -> Tuple[int, RunRecord]:
+    """Per-task entry: only ``(index, point)`` crosses the pipe."""
+    index, point = task
+    runner, state = _WORKER  # type: ignore[misc]
+    return index, runner.run(state, index, point)

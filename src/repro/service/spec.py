@@ -1,0 +1,100 @@
+"""The job descriptor: what a campaign *is*, independent of how it runs.
+
+A :class:`JobSpec` freezes everything that determines a job's work: the
+runner kind (``"sweep"`` for experiment campaigns, ``"bench"`` for
+simulator timing), the point list, and the config fingerprint.  The job
+id is a content digest of exactly those fields, so resubmitting the same
+campaign yields the same id -- which is what makes ``repro jobs submit``
+idempotent and resume-by-resubmission work.
+
+The ``payload`` is the runner's pickled working set (for sweeps: the
+:class:`~repro.runtime.experiment.Experiment` plus
+:class:`~repro.config.SystemConfig`).  It is shipped **once per worker
+process** via the pool initializer -- never per task -- and journaled to
+disk so a stored job can be resumed by a process that no longer holds
+the live objects.  It is deliberately excluded from the job id: pickles
+are not canonical, points + config fingerprint already are.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runtime.record import canonical_json, json_safe
+from repro.version import __version__
+
+__all__ = ["JobSpec", "SPEC_FORMAT"]
+
+#: Schema version of the on-disk ``spec.json`` (bump on layout changes).
+SPEC_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Portable description of one job: runner + points + identity."""
+
+    runner: str
+    experiment: str
+    points: Tuple[Dict[str, Any], ...]
+    config_fingerprint: str
+    #: Write-through :class:`~repro.runtime.cache.ResultCache` location,
+    #: or ``None`` for uncached jobs.  Not part of the job id -- the same
+    #: campaign pointed at a different cache is still the same work.
+    cache_root: Optional[str] = None
+    code_version: str = field(default=__version__)
+    #: Pickled runner working set (lazily materialized; see module doc).
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "points",
+            tuple({str(k): json_safe(v) for k, v in p.items()}
+                  for p in self.points))
+
+    # ------------------------------------------------------------- identity
+    def job_id(self) -> str:
+        """Content-addressed id: same campaign -> same id, always."""
+        digest = hashlib.sha256(canonical_json({
+            "runner": self.runner,
+            "experiment": self.experiment,
+            "points": list(self.points),
+            "config": self.config_fingerprint,
+            "version": self.code_version,
+        }).encode())
+        return digest.hexdigest()[:12]
+
+    # -------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        if self.payload is None:
+            raise ValueError("JobSpec.payload must be materialized before "
+                             "persisting (see Job._materialize_payload)")
+        return canonical_json({
+            "format": SPEC_FORMAT,
+            "runner": self.runner,
+            "experiment": self.experiment,
+            "points": list(self.points),
+            "config_fingerprint": self.config_fingerprint,
+            "cache_root": self.cache_root,
+            "code_version": self.code_version,
+            "payload": base64.b64encode(self.payload).decode("ascii"),
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        doc = json.loads(text)
+        if doc.get("format") != SPEC_FORMAT:
+            raise ValueError(f"unsupported job spec format "
+                             f"{doc.get('format')!r} (expected {SPEC_FORMAT})")
+        return cls(
+            runner=doc["runner"],
+            experiment=doc["experiment"],
+            points=tuple(doc["points"]),
+            config_fingerprint=doc["config_fingerprint"],
+            cache_root=doc["cache_root"],
+            code_version=doc["code_version"],
+            payload=base64.b64decode(doc["payload"]),
+        )

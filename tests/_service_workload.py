@@ -1,0 +1,33 @@
+"""Subprocess target for the kill-mid-campaign tests.
+
+Runs a stored validate campaign, printing one flushed ``case i/n`` line
+per completed case so the parent test can time its SIGTERM/SIGKILL, and
+sleeping ``delay`` seconds per case so the signal has a window to land
+mid-campaign.  Exits 130 on cooperative preemption, 0 on completion.
+"""
+
+import sys
+import time
+
+
+def main() -> int:
+    store_dir, seeds, delay = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+    from repro.service import JobPreempted
+    from repro.validate import run_campaign
+
+    def progress(event) -> None:
+        print(f"case {event.done}/{event.total} {event.source}", flush=True)
+        time.sleep(delay)
+
+    try:
+        run_campaign(workloads=["microbench"], seeds=seeds,
+                     store=store_dir, progress=progress)
+    except JobPreempted as preempt:
+        print(f"preempted {preempt.job_id}", flush=True)
+        return 130
+    print("complete", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
