@@ -6,7 +6,8 @@ The package implements, in pure Python + NumPy:
 * a coherent-SoC node model: CPU (``repro.host``), GPU (``repro.gpu``),
   NIC with Portals-4-style triggered operations (``repro.nic``), shared
   memory with a scoped memory model (``repro.memory``),
-* a star-topology fabric (``repro.net``),
+* a switched fabric with star / fat-tree / dragonfly / torus topologies
+  (``repro.net``),
 * the GPU-TN programming model (``repro.api``) -- the paper's contribution,
 * four end-to-end networking strategies (``repro.strategies``): CPU, HDN,
   GDS and GPU-TN,
@@ -44,6 +45,7 @@ from repro.version import __version__
 #: provided lazily through ``__getattr__`` (PEP 562).
 __all__ = [
     "Cluster",
+    "CollectiveExperiment",
     "Experiment",
     "FaultPlan",
     "GpuTnEndpoint",
@@ -60,16 +62,20 @@ __all__ = [
     "attach_metrics",
     "default_config",
     "discrete_gpu_config",
+    "make_topology",
     "project_deep_learning",
     "run_allreduce",
     "run_bench",
+    "run_collective",
     "run_jacobi",
     "run_microbenchmark",
+    "run_topo_campaign",
 ]
 
 #: Lazy re-exports: public name -> (module, attribute).
 _LAZY = {
     "Cluster": ("repro.cluster", "Cluster"),
+    "CollectiveExperiment": ("repro.collectives", "CollectiveExperiment"),
     "Experiment": ("repro.runtime", "Experiment"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "GpuTnEndpoint": ("repro.api", "GpuTnEndpoint"),
@@ -83,11 +89,14 @@ _LAZY = {
     "Sweep": ("repro.runtime", "Sweep"),
     "attach_metrics": ("repro.metrics", "attach_metrics"),
     "discrete_gpu_config": ("repro.presets", "discrete_gpu_config"),
+    "make_topology": ("repro.net", "make_topology"),
     "project_deep_learning": ("repro.apps.deeplearning", "project_deep_learning"),
     "run_allreduce": ("repro.apps.allreduce_bench", "run_allreduce"),
     "run_bench": ("repro.bench", "run_bench"),
+    "run_collective": ("repro.collectives", "run_collective"),
     "run_jacobi": ("repro.apps.jacobi", "run_jacobi"),
     "run_microbenchmark": ("repro.apps.microbench", "run_microbenchmark"),
+    "run_topo_campaign": ("repro.apps.topo_scale", "run_topo_campaign"),
 }
 
 

@@ -248,7 +248,8 @@ def _jobs_main(argv) -> int:
     commands = ("submit", "status", "list", "resume")
     if not argv or argv[0] not in commands:
         print(f"usage: python -m repro jobs {{{','.join(commands)}}} ...\n"
-              "  submit {validate,faults} [--store DIR] [campaign args]\n"
+              "  submit {validate,faults,topo} [--store DIR] "
+              "[campaign args]\n"
               "  status [JOB_ID] [--store DIR] [--json]\n"
               "  resume JOB_ID [--store DIR] [-j N] [--json FILE]",
               file=sys.stderr)
@@ -262,11 +263,14 @@ def _jobs_main(argv) -> int:
                         "completed case lands in the job store, so a killed "
                         "or preempted campaign resumes from where it "
                         "stopped.")
-        parser.add_argument("kind", choices=["validate", "faults"])
+        parser.add_argument("kind", choices=["validate", "faults", "topo"])
         parser.add_argument("--store", metavar="DIR", default=None,
                             help="job store root (default: .repro-jobs, or "
                                  "$REPRO_JOBS_DIR)")
         args, campaign_argv = parser.parse_known_args(rest)
+        if args.kind == "topo":
+            return _topo_main(campaign_argv, store=JobStore(args.store),
+                              echo=True)
         return _campaign_main(args.kind, campaign_argv,
                               store=JobStore(args.store), echo=True)
 
@@ -337,6 +341,116 @@ def _jobs_main(argv) -> int:
         return _print_campaign_report(kind, Report(records=done), args.json)
     print(f"{len(done)}/{len(records)} points complete")
     return 0
+
+
+# ----------------------------------------------------------------- topo
+def _topo_progress(event) -> None:
+    p = event.record.params
+    marker = "ok" if event.record.metrics["correct"] else "FAIL"
+    src = "" if event.source == "run" else f" [{event.source}]"
+    print(f"[{event.done}/{event.total}] {p['topology']} {p['schedule']} "
+          f"{p['strategy']} n={p['n_nodes']} "
+          f"{event.record.metrics['total_ns']}ns {marker}{src}", flush=True)
+
+
+def _topo_main(argv, store=None, echo: bool = False) -> int:
+    from repro.apps.topo_scale import (TOPO_SCHEDULES, TOPO_STRATEGIES,
+                                       TOPO_TOPOLOGIES, run_topo_campaign)
+    from repro.collectives.algorithms import SCHEDULE_BUILDERS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro topo",
+        description="Scale-out study: run the collective schedule zoo "
+                    "across datacenter topologies and node counts, "
+                    "verifying every point against the NumPy schedule "
+                    "oracle and reporting GPU-TN speedup over GDS/HDN.")
+    parser.add_argument("--topologies", nargs="+", metavar="T",
+                        default=list(TOPO_TOPOLOGIES),
+                        help="topology spec strings, e.g. star fat-tree:k=4 "
+                             f"torus:8x8 dragonfly (default: "
+                             f"{list(TOPO_TOPOLOGIES)})")
+    parser.add_argument("--schedules", nargs="+", metavar="S",
+                        choices=sorted(SCHEDULE_BUILDERS),
+                        default=list(TOPO_SCHEDULES),
+                        help=f"subset of {sorted(SCHEDULE_BUILDERS)} "
+                             "(default: all)")
+    parser.add_argument("--strategies", nargs="+", metavar="B",
+                        choices=["cpu", "hdn", "gds", "gputn"],
+                        default=list(TOPO_STRATEGIES),
+                        help="backends to compare (default: gputn gds hdn)")
+    parser.add_argument("--nodes", nargs="+", type=int, default=[16, 64],
+                        metavar="N", help="node counts (default: 16 64)")
+    parser.add_argument("--nbytes", type=int, default=64 * 1024, metavar="B",
+                        help="payload bytes, padded to whole float32 chunks "
+                             "(default: 65536)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="data seed (default: 11)")
+    add_jobs_arg(parser)
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop dispatching new points after the first "
+                             "oracle mismatch")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="reuse point records across campaigns via a "
+                             "ResultCache at DIR")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full report as JSON")
+    args = parser.parse_args(argv)
+    check_jobs_arg(parser, args)
+    if any(n < 2 for n in args.nodes):
+        parser.error("--nodes entries must be >= 2")
+    from repro.net import make_topology
+    for spec in args.topologies:  # fail fast on bad specs/sizes
+        for n in args.nodes:
+            try:
+                make_topology(spec, n)
+            except ValueError as err:
+                parser.error(f"--topologies {spec!r} at {n} nodes: {err}")
+
+    from repro.service import JobPreempted
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = run_topo_campaign(
+            topologies=args.topologies, schedules=args.schedules,
+            strategies=args.strategies, node_counts=args.nodes,
+            nbytes=args.nbytes, seed=args.seed, jobs=args.jobs,
+            fail_fast=args.fail_fast, cache=cache, store=store,
+            progress=_topo_progress if echo else None)
+    except JobPreempted as preempt:
+        print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
+              f"with: python -m repro jobs resume {preempt.job_id}",
+              flush=True)
+        return 130
+
+    cases = report.by_case()
+    speedups = report.speedups()
+    print(f"{'topology':<16} {'schedule':<20} {'n':>4}  "
+          + "".join(f"{s:>12}" for s in args.strategies)
+          + "  gputn speedup")
+    for key in sorted(cases):
+        topo, sched, n = key
+        times = cases[key]
+        cols = "".join(f"{times.get(s, '-'):>12}" for s in args.strategies)
+        sp = speedups.get(key, {})
+        sp_txt = " ".join(f"{s}:{v:.2f}x" for s, v in sorted(sp.items()))
+        print(f"{topo:<16} {sched:<20} {n:>4}  {cols}  {sp_txt}")
+    for r in report.failures:
+        p = r.params
+        print(f"\nFAIL {p['topology']} {p['schedule']} {p['strategy']} "
+              f"n={p['n_nodes']}: result diverged from the NumPy oracle")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    if report.cache_stats is not None:
+        print(f"\ncache: {report.cache_stats['hits']} hits, "
+              f"{report.cache_stats['misses']} misses")
+    failed = len(report.failures)
+    print(f"\n{report.total - failed}/{report.total} points verified"
+          + (f", {failed} FAILED" if failed else ""))
+    return 0 if report.ok else 1
 
 
 def _stats_workloads():
@@ -464,6 +578,8 @@ def main(argv=None) -> int:
         return _campaign_main("validate", argv[1:])
     if argv[:1] == ["faults"]:
         return _campaign_main("faults", argv[1:])
+    if argv[:1] == ["topo"]:
+        return _topo_main(argv[1:], echo=True)
     if argv[:1] == ["jobs"]:
         return _jobs_main(argv[1:])
     if argv[:1] == ["stats"]:

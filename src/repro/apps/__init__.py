@@ -11,7 +11,10 @@
   projection (Table 3 workloads, Figure 11);
 * :mod:`~repro.apps.degraded` -- strategy goodput and tail latency under
   packet loss with the reliable transport recovering
-  (``python -m repro faults --degraded``).
+  (``python -m repro faults --degraded``);
+* :mod:`~repro.apps.topo_scale` -- the scale-out study: the collective
+  schedule zoo across datacenter topologies at 16-256 nodes
+  (``python -m repro topo``).
 """
 
 from repro.apps.allreduce_bench import run_allreduce, strong_scaling_study
@@ -33,6 +36,7 @@ from repro.apps.microbench import (
     MicrobenchResult,
     run_microbenchmark,
 )
+from repro.apps.topo_scale import TopoScaleReport, run_topo_campaign
 
 __all__ = [
     "DegradedExperiment",
@@ -41,6 +45,7 @@ __all__ = [
     "LaunchLatencyExperiment",
     "MicrobenchExperiment",
     "MicrobenchResult",
+    "TopoScaleReport",
     "WORKLOADS",
     "degraded_report",
     "jacobi_reference",
@@ -50,5 +55,6 @@ __all__ = [
     "run_degraded_sweep",
     "run_jacobi",
     "run_microbenchmark",
+    "run_topo_campaign",
     "strong_scaling_study",
 ]

@@ -22,7 +22,7 @@ from repro.gpu.device import Gpu
 from repro.gpu.dispatcher import LaunchLatencyModel
 from repro.host import Host
 from repro.memory import AddressSpace, ScopedMemoryModel
-from repro.net import Fabric, StarTopology
+from repro.net import Fabric, make_topology
 from repro.net.topology import Topology
 from repro.nic import Nic
 from repro.sim import Simulator, Tracer
@@ -68,8 +68,11 @@ class Cluster:
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
         names = [f"node{i}" for i in range(n_nodes)]
-        self.topology = topology or StarTopology(
-            names, self.config.network.link_latency_ns,
+        # No explicit topology: build from the config's spec string
+        # (default "star" reproduces the paper's Table 2 network exactly).
+        self.topology = topology or make_topology(
+            self.config.network.topology, n_nodes,
+            self.config.network.link_latency_ns,
             self.config.network.switch_latency_ns,
         )
         if list(self.topology.nodes) != names:

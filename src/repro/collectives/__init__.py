@@ -10,9 +10,28 @@ pre-registered triggered put fired from inside a single persistent kernel.
 * :mod:`~repro.collectives.schedule` -- schedule IR + builders (ring
   Allreduce of Figure 2, plus reduce-scatter/allgather pieces);
 * :mod:`~repro.collectives.ring` -- per-strategy executors over a
-  :class:`~repro.cluster.Cluster`.
+  :class:`~repro.cluster.Cluster`;
+* :mod:`~repro.collectives.algorithms` -- the schedule zoo
+  (recursive-doubling / halving-doubling Allreduce, AllGather,
+  ReduceScatter, all-to-all) in the same round IR;
+* :mod:`~repro.collectives.engine` -- a generic executor that runs *any*
+  canonical schedule on every strategy, plus the NumPy schedule oracle.
 """
 
+from repro.collectives.algorithms import (
+    SCHEDULE_BUILDERS,
+    alltoall_schedule,
+    halving_doubling_allreduce_schedule,
+    recursive_doubling_allreduce_schedule,
+    ring_allgather_schedule,
+    ring_reduce_scatter_schedule,
+)
+from repro.collectives.engine import (
+    CollectiveExperiment,
+    CollectiveResult,
+    run_collective,
+    schedule_reference,
+)
 from repro.collectives.offload import nic_barrier, nic_broadcast
 from repro.collectives.ring import (
     AllreduceExperiment,
@@ -28,10 +47,20 @@ from repro.collectives.schedule import (
 __all__ = [
     "AllreduceExperiment",
     "AllreduceResult",
+    "CollectiveExperiment",
+    "CollectiveResult",
     "CollectiveSchedule",
+    "SCHEDULE_BUILDERS",
     "ScheduleOp",
+    "alltoall_schedule",
+    "halving_doubling_allreduce_schedule",
     "nic_barrier",
     "nic_broadcast",
+    "recursive_doubling_allreduce_schedule",
+    "ring_allgather_schedule",
     "ring_allreduce_schedule",
+    "ring_reduce_scatter_schedule",
+    "run_collective",
     "run_ring_allreduce",
+    "schedule_reference",
 ]

@@ -1,0 +1,171 @@
+"""The collective schedule zoo (libNBC-style builders beyond the ring).
+
+Every builder returns one rank's :class:`CollectiveSchedule` in the same
+shape the ring uses -- exactly one SEND and one RECV (plus an optional
+REDUCE) per round -- so the generic executors in
+:mod:`repro.collectives.engine` can drive any of them over any backend
+(cpu / hdn / gds / gputn) without schedule-specific code.
+
+* :func:`recursive_doubling_allreduce_schedule` -- log2(P) rounds, whole
+  vector exchanged with rank ^ 2^s each round (latency-optimal for small
+  payloads).
+* :func:`halving_doubling_allreduce_schedule` -- vector-halving reduce-
+  scatter then vector-doubling allgather (bandwidth-optimal, the classic
+  Rabenseifner algorithm).
+* :func:`ring_allgather_schedule` / :func:`ring_reduce_scatter_schedule`
+  -- the two ring phases as standalone collectives.
+* :func:`alltoall_schedule` -- the MoE "token dispatch" pattern: every
+  rank owns P chunks, chunk ``d`` is routed to rank ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.collectives.schedule import (CollectiveSchedule, OpKind, ScheduleOp,
+                                        ring_allreduce_schedule)
+
+__all__ = [
+    "SCHEDULE_BUILDERS",
+    "alltoall_schedule",
+    "halving_doubling_allreduce_schedule",
+    "recursive_doubling_allreduce_schedule",
+    "ring_allgather_schedule",
+    "ring_reduce_scatter_schedule",
+]
+
+
+def _check_rank(rank: int, n_ranks: int) -> None:
+    if n_ranks < 2:
+        raise ValueError(f"collective needs >=2 ranks, got {n_ranks}")
+    if not 0 <= rank < n_ranks:
+        raise ValueError(f"rank {rank} outside [0, {n_ranks})")
+
+
+def _require_pow2(n_ranks: int, algo: str) -> None:
+    if n_ranks & (n_ranks - 1):
+        raise ValueError(f"{algo} requires a power-of-two rank count, "
+                         f"got {n_ranks}")
+
+
+def recursive_doubling_allreduce_schedule(rank: int,
+                                          n_ranks: int) -> CollectiveSchedule:
+    """log2(P) rounds; round ``s`` exchanges the whole vector with
+    ``rank ^ 2^s`` and reduces.  One chunk: the vector itself."""
+    _check_rank(rank, n_ranks)
+    _require_pow2(n_ranks, "recursive doubling")
+    rounds: List[List[ScheduleOp]] = []
+    for s in range(n_ranks.bit_length() - 1):
+        peer = rank ^ (1 << s)
+        rounds.append([
+            ScheduleOp(OpKind.SEND, 0, peer, s),
+            ScheduleOp(OpKind.RECV, 0, peer, s),
+            ScheduleOp(OpKind.REDUCE, 0, -1, s),
+        ])
+    return CollectiveSchedule(rank=rank, n_ranks=n_ranks, rounds=rounds,
+                              collective="allreduce", n_chunks=1)
+
+
+def halving_doubling_allreduce_schedule(rank: int,
+                                        n_ranks: int) -> CollectiveSchedule:
+    """Rabenseifner: vector-halving reduce-scatter (distance P/2 down to 1,
+    each round keeps the half of the live block holding ``rank`` and sends
+    the other half), then vector-doubling allgather in mirror order.
+    After the halving phase rank ``r`` owns exactly chunk ``r``."""
+    _check_rank(rank, n_ranks)
+    _require_pow2(n_ranks, "halving-doubling")
+    steps = n_ranks.bit_length() - 1
+    rounds: List[List[ScheduleOp]] = []
+    lo, cnt = 0, n_ranks
+
+    # Phase 1: reduce-scatter by halving.  Live block [lo, lo+cnt); the
+    # upper half's chunk indices carry bit d, so keep-upper <=> rank & d.
+    for s in range(steps):
+        d = n_ranks >> (s + 1)
+        peer = rank ^ d
+        half = cnt // 2
+        if rank & d:
+            keep_lo, send_lo = lo + half, lo
+        else:
+            keep_lo, send_lo = lo, lo + half
+        rounds.append([
+            ScheduleOp(OpKind.SEND, send_lo, peer, s, nchunks=half),
+            ScheduleOp(OpKind.RECV, keep_lo, peer, s, nchunks=half),
+            ScheduleOp(OpKind.REDUCE, keep_lo, -1, s, nchunks=half),
+        ])
+        lo, cnt = keep_lo, half
+
+    # Phase 2: allgather by doubling, mirroring phase 1.  The sibling
+    # block at distance d is [lo ^ cnt, ...) (blocks stay aligned).
+    for s in range(steps):
+        rnd = steps + s
+        d = 1 << s
+        peer = rank ^ d
+        sib_lo = lo ^ cnt
+        rounds.append([
+            ScheduleOp(OpKind.SEND, lo, peer, rnd, nchunks=cnt),
+            ScheduleOp(OpKind.RECV, sib_lo, peer, rnd, nchunks=cnt),
+        ])
+        lo, cnt = min(lo, sib_lo), cnt * 2
+
+    return CollectiveSchedule(rank=rank, n_ranks=n_ranks, rounds=rounds,
+                              collective="allreduce")
+
+
+def ring_allgather_schedule(rank: int, n_ranks: int) -> CollectiveSchedule:
+    """P-1 rounds; each rank starts owning chunk ``rank`` and forwards the
+    newest chunk right while receiving from the left."""
+    _check_rank(rank, n_ranks)
+    right, left = (rank + 1) % n_ranks, (rank - 1) % n_ranks
+    rounds = [[
+        ScheduleOp(OpKind.SEND, (rank - s) % n_ranks, right, s),
+        ScheduleOp(OpKind.RECV, (rank - s - 1) % n_ranks, left, s),
+    ] for s in range(n_ranks - 1)]
+    return CollectiveSchedule(rank=rank, n_ranks=n_ranks, rounds=rounds,
+                              collective="allgather")
+
+
+def ring_reduce_scatter_schedule(rank: int, n_ranks: int) -> CollectiveSchedule:
+    """Phase 1 of the ring Allreduce alone: after P-1 reduce rounds rank
+    ``r`` holds the full reduction of chunk ``(r + 1) mod P``."""
+    _check_rank(rank, n_ranks)
+    right, left = (rank + 1) % n_ranks, (rank - 1) % n_ranks
+    rounds = [[
+        ScheduleOp(OpKind.SEND, (rank - s) % n_ranks, right, s),
+        ScheduleOp(OpKind.RECV, (rank - s - 1) % n_ranks, left, s),
+        ScheduleOp(OpKind.REDUCE, (rank - s - 1) % n_ranks, -1, s),
+    ] for s in range(n_ranks - 1)]
+    return CollectiveSchedule(rank=rank, n_ranks=n_ranks, rounds=rounds,
+                              collective="reduce_scatter",
+                              result_chunk=(rank + 1) % n_ranks)
+
+
+def alltoall_schedule(rank: int, n_ranks: int) -> CollectiveSchedule:
+    """MoE token dispatch: input chunk ``d`` is the block of tokens bound
+    for expert/rank ``d``; output chunk ``s`` is what rank ``s`` sent us.
+    P-1 rounds of a rotated pairwise exchange (round ``s`` sends to
+    ``rank + s + 1``, receives from ``rank - s - 1``); the self-chunk is a
+    local copy outside the schedule.  Out-of-place: receives land in a
+    separate output buffer so late arrivals never clobber unsent input."""
+    _check_rank(rank, n_ranks)
+    rounds = []
+    for s in range(n_ranks - 1):
+        to = (rank + s + 1) % n_ranks
+        frm = (rank - s - 1) % n_ranks
+        rounds.append([
+            ScheduleOp(OpKind.SEND, to, to, s),
+            ScheduleOp(OpKind.RECV, frm, frm, s),
+        ])
+    return CollectiveSchedule(rank=rank, n_ranks=n_ranks, rounds=rounds,
+                              collective="alltoall", in_place=False)
+
+
+#: Name -> builder, the registry the engine/CLI/apps dispatch on.
+SCHEDULE_BUILDERS: Dict[str, Callable[[int, int], CollectiveSchedule]] = {
+    "ring": ring_allreduce_schedule,
+    "recursive-doubling": recursive_doubling_allreduce_schedule,
+    "halving-doubling": halving_doubling_allreduce_schedule,
+    "allgather": ring_allgather_schedule,
+    "reduce-scatter": ring_reduce_scatter_schedule,
+    "alltoall": alltoall_schedule,
+}

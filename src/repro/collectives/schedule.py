@@ -38,22 +38,46 @@ class ScheduleOp:
     """One subtask in a round."""
 
     kind: OpKind
-    chunk: int          # chunk index within the payload
+    chunk: int          # first chunk index within the payload
     peer: int           # partner rank (-1 for local ops)
     round: int          # round index within the schedule
+    #: Contiguous run length starting at ``chunk`` -- schedules that move
+    #: whole blocks (recursive doubling, halving-doubling) say so here
+    #: instead of emitting one op per chunk.
+    nchunks: int = 1
 
     def __post_init__(self) -> None:
         if self.chunk < 0:
             raise ValueError("negative chunk index")
+        if self.nchunks < 1:
+            raise ValueError("nchunks must be >=1")
 
 
 @dataclass(frozen=True)
 class CollectiveSchedule:
-    """All rounds for one rank."""
+    """All rounds for one rank.
+
+    ``n_chunks`` is the chunk granularity the ops index into (defaults to
+    ``n_ranks``, the ring convention).  ``in_place`` schedules land
+    non-reduce receives directly in the payload vector; ``in_place=False``
+    (all-to-all) lands them in a separate output buffer.  ``result_chunk``
+    names the single chunk holding this rank's result for scatter-style
+    collectives (-1: the whole destination buffer is the result).
+    """
 
     rank: int
     n_ranks: int
     rounds: List[List[ScheduleOp]]
+    collective: str = "allreduce"
+    n_chunks: int = -1          # -1: defaulted to n_ranks in __post_init__
+    in_place: bool = True
+    result_chunk: int = -1
+
+    def __post_init__(self) -> None:
+        if self.n_chunks == -1:
+            object.__setattr__(self, "n_chunks", self.n_ranks)
+        if self.n_chunks < 1:
+            raise ValueError(f"n_chunks must be >=1, got {self.n_chunks}")
 
     @property
     def n_rounds(self) -> int:

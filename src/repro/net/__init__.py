@@ -17,7 +17,11 @@ supported for extension studies; per-hop latencies add along the path.
 
 from repro.net.fabric import DeliveredMessage, Fabric, FaultDecision
 from repro.net.packet import Message
+from repro.net.topologies import (DragonflyTopology, FatTreeTopology,
+                                  SwitchFabricTopology, TorusTopology,
+                                  make_topology)
 from repro.net.topology import StarTopology, Topology
 
-__all__ = ["DeliveredMessage", "Fabric", "FaultDecision", "Message",
-           "StarTopology", "Topology"]
+__all__ = ["DeliveredMessage", "DragonflyTopology", "Fabric", "FatTreeTopology",
+           "FaultDecision", "Message", "StarTopology", "SwitchFabricTopology",
+           "Topology", "TorusTopology", "make_topology"]

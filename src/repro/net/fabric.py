@@ -102,6 +102,10 @@ class Fabric:
         self.tracer = tracer or Tracer(enabled=False)
         self._egress: Dict[str, _Port] = {n: _Port() for n in topology.nodes}
         self._ingress: Dict[str, _Port] = {n: _Port() for n in topology.nodes}
+        #: Per-switch *output* ports, keyed (switch, next_vertex); created
+        #: lazily the first time a routed path crosses them.  Star (and any
+        #: topology whose ``route`` returns ``None``) never touches these.
+        self._switch_ports: Dict[tuple, _Port] = {}
         self._rx_handlers: Dict[str, List[Callable[[DeliveredMessage], None]]] = {
             n: [] for n in topology.nodes
         }
@@ -157,7 +161,6 @@ class Fabric:
         self.topology.index(msg.src)
         self.topology.index(msg.dst)
         ser = self.net.serialization_ns(msg.nbytes)
-        head_lat = self.topology.path_latency_ns(msg.src, msg.dst)
         verdict = (self.interposer.on_transmit(msg, now)
                    if self.interposer is not None else NO_FAULT)
 
@@ -185,7 +188,33 @@ class Fabric:
 
         # Head reaches the destination port once it propagates the path;
         # it cannot enter the wire before its turn at the egress port.
-        head_at_ingress = egress_end - ser + head_lat + verdict.extra_delay_ns
+        route = self.topology.route(msg.src, msg.dst)
+        if route is None:
+            # Endpoint-contention-only (the paper's star): propagation is
+            # one closed-form number, contention lives at the endpoints.
+            head_at_ingress = (egress_end - ser
+                               + self.topology.path_latency_ns(msg.src, msg.dst)
+                               + verdict.extra_delay_ns)
+        else:
+            # Hop-by-hop cut-through: the head crosses each link, pays each
+            # switch, and must win that switch's output port toward the
+            # next vertex before entering the next link.  Ports serialize
+            # in transmit order (an analytic approximation: reservations
+            # happen up front, not as the head actually arrives).
+            topo = self.topology
+            ports = self._switch_ports
+            head = egress_end - ser
+            last = len(route) - 1
+            for i in range(1, last + 1):
+                head += topo.segment_latency_ns(route[i - 1], route[i])
+                if i < last:
+                    head += topo.switch_latency_ns
+                    key = (route[i], route[i + 1])
+                    port = ports.get(key)
+                    if port is None:
+                        port = ports[key] = _Port()
+                    head, _ = port.reserve(now, ser, earliest=head)
+            head_at_ingress = head + verdict.extra_delay_ns
         _, ingress_end = self._ingress[msg.dst].reserve(now, ser, earliest=head_at_ingress)
         delivery_time = ingress_end
         if self.interposer is not None:

@@ -9,7 +9,7 @@ Arbitrary graphs are supported through :class:`GraphTopology` (built on
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["GraphTopology", "StarTopology", "Topology"]
 
@@ -43,6 +43,18 @@ class Topology:
 
     def hop_count(self, src: str, dst: str) -> int:
         """Number of switch traversals on the path."""
+        raise NotImplementedError
+
+    def route(self, src: str, dst: str) -> Optional[List[str]]:
+        """Vertex path ``[src, switch..., dst]`` for hop-by-hop fabric
+        simulation, or ``None`` for endpoint-contention-only topologies
+        (the star keeps the paper's exact timing model this way).  Routes
+        must be deterministic: same pair, same path, every call."""
+        return None
+
+    def segment_latency_ns(self, u: str, v: str) -> int:
+        """Propagation latency of the directed link ``u -> v`` on a routed
+        path.  Only consulted when :meth:`route` returns a path."""
         raise NotImplementedError
 
 
@@ -123,3 +135,11 @@ class GraphTopology(Topology):
         if src == dst:
             return 0
         return max(0, len(self._path(src, dst)) - 2)
+
+    def route(self, src: str, dst: str) -> Optional[List[str]]:
+        if src == dst:
+            return None
+        return self._path(src, dst)
+
+    def segment_latency_ns(self, u: str, v: str) -> int:
+        return int(self.graph.edges[u, v].get("latency_ns", self.link_latency_ns))

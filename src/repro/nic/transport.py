@@ -180,10 +180,29 @@ class ReliableTransport:
             self._arm_timer(st)
 
     # -------------------------------------------------------------- timers
+    def _rtt_floor_ns(self, st: _TxState) -> int:
+        """Closed-form uncontended RTT for the window head: data one way,
+        cumulative ACK back.  The configured timeout was tuned on the
+        paper's single-switch star; on multi-hop topologies (or with
+        payloads whose serialization dwarfs 20 us) an unfloored timer
+        fires before an ACK could possibly return and every "timeout" is
+        spurious -- go-back-N then retransmits the whole healthy window,
+        and the dup-suppressed copies re-trip the timer forever."""
+        head = st.window[0].msg
+        net = self.fabric.net
+        path = self.fabric.topology.path_latency_ns
+        return (net.serialization_ns(head.nbytes) + path(self.node, st.peer)
+                + net.serialization_ns(self.rc.ack_bytes)
+                + path(st.peer, self.node))
+
     def _arm_timer(self, st: _TxState) -> None:
         st.timer_gen += 1
         st.timer_armed = True
-        delay = self.rc.timeout_after_retries(st.retries)
+        # RTO >= 2x the path RTT (classic Jacobson floor).  On the star
+        # with Table 2 latencies the floor is well under the configured
+        # 20 us, so single-switch timing is untouched.
+        delay = max(self.rc.timeout_after_retries(st.retries),
+                    2 * self._rtt_floor_ns(st))
         self.sim.call_later(delay, self._on_timer, st, st.timer_gen)
 
     def _disarm_timer(self, st: _TxState) -> None:

@@ -1,0 +1,249 @@
+"""Property tests for the scale-out topology fabric (DESIGN.md §"Scale-out
+topologies").
+
+The routing invariants the simulator leans on, checked over randomly drawn
+fabrics:
+
+* connectivity -- every distinct host pair has a well-formed route;
+* determinism -- two fresh instances of the same topology produce
+  identical routes (a precondition for reproducible contention);
+* structural deadlock freedom -- every route follows its discipline's
+  restricted shape (valley-free up/down, minimal l-g-l, dimension order),
+  which is what makes the discipline deadlock-free on paper;
+* hop counts never exceed the closed-form diameter, and full-capacity
+  instances achieve it;
+* the closed-form ``path_latency_ns`` equals the hop-walk sum the Fabric
+  charges, so the uncontended latency formula stays exact on every fabric.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.net import (DragonflyTopology, FatTreeTopology, Fabric, Message,
+                       StarTopology, TorusTopology, make_topology)
+from repro.sim import Simulator
+
+LINK, SWITCH = 100, 100
+
+
+def fat_tree(n):
+    return FatTreeTopology(n, link_latency_ns=LINK, switch_latency_ns=SWITCH)
+
+
+def dragonfly(n):
+    return DragonflyTopology(n, link_latency_ns=LINK, switch_latency_ns=SWITCH)
+
+
+def torus_of(n):
+    return make_topology("torus", n, LINK, SWITCH)
+
+
+BUILDERS = {"fat-tree": fat_tree, "dragonfly": dragonfly, "torus": torus_of}
+
+topo_case = st.tuples(st.sampled_from(sorted(BUILDERS)),
+                      st.integers(min_value=2, max_value=24))
+
+
+def all_pairs(topo):
+    return [(s, d) for s in topo.nodes for d in topo.nodes if s != d]
+
+
+# --------------------------------------------------------------------------
+# Connectivity + well-formedness
+# --------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(case=topo_case)
+def test_property_every_pair_routes(case):
+    kind, n = case
+    topo = BUILDERS[kind](n)
+    for src, dst in all_pairs(topo):
+        path = topo.route(src, dst)
+        assert path[0] == src and path[-1] == dst and len(path) >= 3
+        # Hosts appear only at the endpoints -- no route hairpins through
+        # another host's NIC.
+        assert not any(v.startswith("node") for v in path[1:-1])
+        assert topo.hop_count(src, dst) == len(path) - 2
+        walk = (len(path) - 2) * SWITCH + sum(
+            topo.segment_latency_ns(a, b) for a, b in zip(path, path[1:]))
+        assert topo.path_latency_ns(src, dst) == walk
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=topo_case)
+def test_property_routing_is_deterministic(case):
+    kind, n = case
+    one, two = BUILDERS[kind](n), BUILDERS[kind](n)
+    for src, dst in all_pairs(one):
+        assert one.route(src, dst) == two.route(src, dst)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=topo_case)
+def test_property_hops_bounded_by_diameter(case):
+    kind, n = case
+    topo = BUILDERS[kind](n)
+    bound = topo.diameter_hops()
+    assert max(topo.hop_count(s, d) for s, d in all_pairs(topo)) <= bound
+
+
+@pytest.mark.parametrize("topo,expect", [
+    (FatTreeTopology(16, k=4), 5),        # full k=4: cross-pod worst case
+    (FatTreeTopology(4, k=4), 3),         # one pod: edge-agg-edge
+    (FatTreeTopology(2, k=4), 1),         # one edge switch
+    (DragonflyTopology(12, a=2, g=3, p=2), 4),
+    (TorusTopology((4, 4)), 5),
+    (TorusTopology((5,)), 3),
+])
+def test_full_instances_achieve_diameter(topo, expect):
+    assert topo.diameter_hops() == expect
+    assert max(topo.hop_count(s, d) for s, d in all_pairs(topo)) == expect
+
+
+# --------------------------------------------------------------------------
+# Structural deadlock freedom: each discipline's restricted route shape
+# --------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24))
+def test_property_fat_tree_routes_are_valley_free(n):
+    topo = fat_tree(n)
+    tier = {"node": "H", "ftE": "E", "ftA": "A", "ftC": "C"}
+
+    def classify(v):
+        for prefix, t in tier.items():
+            if v.startswith(prefix):
+                return t
+        raise AssertionError(f"unknown vertex {v}")
+
+    for src, dst in all_pairs(topo):
+        shape = "".join(classify(v) for v in topo.route(src, dst))
+        # Up to the lowest common tier, straight down -- never E-A-E-A.
+        assert shape in ("HEH", "HEAEH", "HEACAEH"), shape
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24))
+def test_property_dragonfly_routes_are_minimal_lgl(n):
+    topo = dragonfly(n)
+    for src, dst in all_pairs(topo):
+        path = topo.route(src, dst)
+        routers = path[1:-1]
+        assert len(routers) <= 4  # l-g-l is at most 4 routers end to end
+        groups = [r.split(".", 1)[0] for r in routers]
+        # At most one global traversal, i.e. the group sequence changes at
+        # most once -- the defining property of minimal dragonfly routing.
+        changes = sum(a != b for a, b in zip(groups, groups[1:]))
+        assert changes <= 1
+        assert groups[0] == f"dfR{topo._locate(src)[0]}"
+        assert groups[-1] == f"dfR{topo._locate(dst)[0]}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=st.lists(st.integers(min_value=1, max_value=5),
+                     min_size=1, max_size=3).filter(
+                         lambda d: 2 <= math.prod(d) <= 32))
+def test_property_torus_routes_are_dimension_ordered(dims):
+    topo = TorusTopology(dims)
+
+    def coord(r):
+        return tuple(int(c) for c in r[2:].split("."))
+
+    for src, dst in all_pairs(topo):
+        routers = [coord(r) for r in topo.route(src, dst)[1:-1]]
+        touched = []
+        for a, b in zip(routers, routers[1:]):
+            diff = [i for i in range(len(dims)) if a[i] != b[i]]
+            assert len(diff) == 1  # one lattice step at a time
+            i = diff[0]
+            assert (b[i] - a[i]) % dims[i] in (1, dims[i] - 1)
+            touched.append(i)
+        # Dimension-order: the sequence of corrected dimensions never
+        # decreases (the e-cube deadlock-freedom argument).
+        assert touched == sorted(touched)
+        # Minimality: per-dimension steps == shortest wrap distance.
+        a, b = coord(topo.route(src, dst)[1]), coord(topo.route(src, dst)[-2])
+        for i, size in enumerate(dims):
+            fwd = (b[i] - a[i]) % size
+            assert touched.count(i) == min(fwd, size - fwd)
+
+
+# --------------------------------------------------------------------------
+# Spec-string factory
+# --------------------------------------------------------------------------
+
+def test_make_topology_specs_round_trip():
+    assert isinstance(make_topology("star", 4), StarTopology)
+    ft = make_topology("fat-tree:k=4", 16)
+    assert isinstance(ft, FatTreeTopology) and ft.k == 4
+    assert isinstance(make_topology("fattree", 16), FatTreeTopology)
+    tor = make_topology("torus:2x3", 6)
+    assert isinstance(tor, TorusTopology) and tor.dims == (2, 3)
+    df = make_topology("dragonfly:a=2,g=3,p=2", 12)
+    assert (df.a, df.g, df.p) == (2, 3, 2)
+    for n in (2, 7, 12, 16):
+        assert len(list(make_topology("torus", n).nodes)) == n
+
+
+@pytest.mark.parametrize("spec,n", [
+    ("mesh", 4),                 # unknown topology name
+    ("star:k=4", 4),             # star takes no parameters
+    ("fat-tree:k=3", 4),         # odd arity
+    ("fat-tree:pods=2", 4),      # unknown parameter
+    ("fat-tree:k", 4),           # malformed key=value
+    ("torus:4x4", 12),           # dims don't multiply to n_nodes
+    ("dragonfly:a=1,g=9,p=1", 16),  # capacity 9 < 16
+])
+def test_make_topology_rejects_bad_specs(spec, n):
+    with pytest.raises(ValueError):
+        make_topology(spec, n)
+
+
+# --------------------------------------------------------------------------
+# Fabric integration: closed form == hop walk on real hardware paths
+# --------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(case=topo_case, nbytes=st.integers(min_value=0, max_value=1 << 18))
+def test_property_uncontended_delivery_matches_closed_form(case, nbytes):
+    kind, n = case
+    topo = BUILDERS[kind](n)
+    sim = Simulator()
+    fabric = Fabric(sim, topo, NetworkConfig())
+    src, dst = topo.nodes[0], topo.nodes[-1]
+    ev = fabric.transmit(Message(src=src, dst=dst, nbytes=nbytes))
+    delivered = sim.run_until_event(ev)
+    assert delivered.delivered_at == fabric.uncontended_latency_ns(
+        src, dst, nbytes)
+
+
+def test_switch_port_contention_adds_latency():
+    """Two flows sharing one fat-tree uplink serialize behind it; a flow on
+    a disjoint path is unaffected."""
+    topo = FatTreeTopology(16, k=4)
+    sim = Simulator()
+    net = NetworkConfig()
+    fabric = Fabric(sim, topo, net)
+    nbytes = 1 << 16
+    # node0 and node1 share edge switch ftE0.0; both target pod-1 hosts
+    # whose in-pod position hashes to the same agg (port % 2 == 0), so both
+    # routes traverse the ftE0.0 -> ftA0.0 output port.
+    r0, r1 = topo.route("node0", "node4"), topo.route("node1", "node6")
+    assert r0[1:3] == r1[1:3] == ["ftE0.0", "ftA0.0"]
+    ev0 = fabric.transmit(Message(src="node0", dst="node4", nbytes=nbytes))
+    ev1 = fabric.transmit(Message(src="node1", dst="node6", nbytes=nbytes))
+    # Disjoint flow (different edge + agg + core) from pod 2 to pod 3.
+    ev2 = fabric.transmit(Message(src="node8", dst="node13", nbytes=nbytes))
+    sim.run()
+    ser = net.serialization_ns(nbytes)
+    base01 = fabric.uncontended_latency_ns("node0", "node4", nbytes)
+    assert ev0.value.delivered_at == base01
+    # The loser queues for the shared switch port: a full extra
+    # serialization delay beyond its own uncontended floor.
+    assert ev1.value.delivered_at >= base01 + ser
+    assert ev2.value.delivered_at == fabric.uncontended_latency_ns(
+        "node8", "node13", nbytes)

@@ -104,11 +104,28 @@ class TestLossRecovery:
         assert all(h.delivered.ok for h in handles)
 
     def test_duplicate_data_accepted_exactly_once(self):
-        # A sub-RTT timeout makes every message retransmit spuriously
-        # before its ACK returns: the receiver must dedup every one.
+        # Eat the first few ACKs: the sender's (RTT-floored) timer fires,
+        # go-back-N resends the already-delivered window, and the receiver
+        # must dedup every copy.  (A sub-RTT configured timeout no longer
+        # produces dups -- the transport floors the RTO at 2x path RTT.)
+        class _DropAcks:
+            def __init__(self, n):
+                self.left = n
+
+            def on_transmit(self, msg, now):
+                from repro.net.fabric import NO_FAULT, FaultDecision
+                if msg.kind.is_control and self.left > 0:
+                    self.left -= 1
+                    return FaultDecision(drop=True)
+                return NO_FAULT
+
+            def adjust_delivery(self, dst, t):
+                return t
+
         tb, _ = armed_testbed(
             reliability=ReliabilityConfig(retransmit_timeout_ns=200,
                                           max_retries=10))
+        tb.fabric.install_interposer(_DropAcks(3))
         accepts = []
         tb.nics["n1"].transport.probes.append(
             lambda kind, peer, seq, now: kind == "accept"
