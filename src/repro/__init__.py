@@ -16,8 +16,9 @@ The package implements, in pure Python + NumPy:
   2D Jacobi relaxation, ring Allreduce, deep-learning projection, and
 * the supporting subsystems: experiment runtime (``repro.runtime``),
   invariant fuzzing (``repro.validate``), fault injection
-  (``repro.faults``), metrics (``repro.metrics``) and the simulator
-  performance harness (``repro.bench``).
+  (``repro.faults``), background traffic generation (``repro.traffic``),
+  metrics (``repro.metrics``) and the simulator performance harness
+  (``repro.bench``).
 
 This module is the **public facade**: every blessed entry point is
 importable directly from ``repro`` (lazily, so ``import repro`` stays
@@ -53,6 +54,8 @@ __all__ = [
     "JobStore",
     "MetricsRegistry",
     "Observers",
+    "QueueConfig",
+    "ReliabilityConfig",
     "ResultCache",
     "RunRecord",
     "STRATEGIES",
@@ -60,6 +63,7 @@ __all__ = [
     "SystemConfig",
     "__version__",
     "attach_metrics",
+    "attach_traffic",
     "default_config",
     "discrete_gpu_config",
     "make_topology",
@@ -67,6 +71,7 @@ __all__ = [
     "run_allreduce",
     "run_bench",
     "run_collective",
+    "run_congestion_campaign",
     "run_jacobi",
     "run_microbenchmark",
     "run_topo_campaign",
@@ -83,17 +88,22 @@ _LAZY = {
     "JobStore": ("repro.service", "JobStore"),
     "MetricsRegistry": ("repro.metrics", "MetricsRegistry"),
     "Observers": ("repro.runtime", "Observers"),
+    "QueueConfig": ("repro.config", "QueueConfig"),
+    "ReliabilityConfig": ("repro.config", "ReliabilityConfig"),
     "ResultCache": ("repro.runtime", "ResultCache"),
     "RunRecord": ("repro.runtime", "RunRecord"),
     "STRATEGIES": ("repro.strategies", "STRATEGIES"),
     "Sweep": ("repro.runtime", "Sweep"),
     "attach_metrics": ("repro.metrics", "attach_metrics"),
+    "attach_traffic": ("repro.traffic", "attach_traffic"),
     "discrete_gpu_config": ("repro.presets", "discrete_gpu_config"),
     "make_topology": ("repro.net", "make_topology"),
     "project_deep_learning": ("repro.apps.deeplearning", "project_deep_learning"),
     "run_allreduce": ("repro.apps.allreduce_bench", "run_allreduce"),
     "run_bench": ("repro.bench", "run_bench"),
     "run_collective": ("repro.collectives", "run_collective"),
+    "run_congestion_campaign": ("repro.apps.congestion",
+                                "run_congestion_campaign"),
     "run_jacobi": ("repro.apps.jacobi", "run_jacobi"),
     "run_microbenchmark": ("repro.apps.microbench", "run_microbenchmark"),
     "run_topo_campaign": ("repro.apps.topo_scale", "run_topo_campaign"),

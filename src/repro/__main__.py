@@ -38,6 +38,17 @@ re-running only the cases that never finished (see :mod:`repro.service`)::
     python -m repro jobs status <job-id>
     python -m repro jobs resume <job-id> --jobs 8
 
+The ``congestion`` subcommand runs the under-load study: background
+traffic (:mod:`repro.traffic`) fills finite switch queues
+(:mod:`repro.net.queues`) while a foreground stream is timed per ARQ
+transport and initiation strategy, with the packet-conservation and
+exactly-once monitors armed at every point::
+
+    python -m repro congestion                      # full acceptance grid
+    python -m repro congestion --loads 0.5 --jobs 4
+    python -m repro congestion --disciplines red-ecn --transports selective-repeat
+    python -m repro jobs submit congestion --loads 0.2 0.8 --json out.json
+
 The ``stats`` subcommand runs a workload with a
 :class:`repro.metrics.MetricsRegistry` attached and prints the
 per-component hardware breakdown -- FIFO depths, CU occupancy, per-link
@@ -135,6 +146,21 @@ def check_campaign_args(parser: argparse.ArgumentParser,
     if args.seeds < 1:
         parser.error(f"--seeds must be >= 1, got {args.seeds}")
     check_jobs_arg(parser, args)
+
+
+def check_topology_specs(parser: argparse.ArgumentParser, specs,
+                         node_counts) -> None:
+    """Fail fast (exit 2, grammar in the message) on any bad topology
+    spec or spec/size mismatch -- shared by ``topo`` and ``congestion``
+    so neither campaign dies mid-sweep with a raw traceback."""
+    from repro.net import make_topology
+
+    for spec in specs:
+        for n in node_counts:
+            try:
+                make_topology(spec, n)
+            except ValueError as err:
+                parser.error(f"topology {spec!r} at {n} nodes: {err}")
 
 
 # ----------------------------------------------------------------- campaigns
@@ -248,7 +274,7 @@ def _jobs_main(argv) -> int:
     commands = ("submit", "status", "list", "resume")
     if not argv or argv[0] not in commands:
         print(f"usage: python -m repro jobs {{{','.join(commands)}}} ...\n"
-              "  submit {validate,faults,topo} [--store DIR] "
+              "  submit {validate,faults,topo,congestion} [--store DIR] "
               "[campaign args]\n"
               "  status [JOB_ID] [--store DIR] [--json]\n"
               "  resume JOB_ID [--store DIR] [-j N] [--json FILE]",
@@ -263,7 +289,8 @@ def _jobs_main(argv) -> int:
                         "completed case lands in the job store, so a killed "
                         "or preempted campaign resumes from where it "
                         "stopped.")
-        parser.add_argument("kind", choices=["validate", "faults", "topo"])
+        parser.add_argument("kind", choices=["validate", "faults", "topo",
+                                             "congestion"])
         parser.add_argument("--store", metavar="DIR", default=None,
                             help="job store root (default: .repro-jobs, or "
                                  "$REPRO_JOBS_DIR)")
@@ -271,6 +298,9 @@ def _jobs_main(argv) -> int:
         if args.kind == "topo":
             return _topo_main(campaign_argv, store=JobStore(args.store),
                               echo=True)
+        if args.kind == "congestion":
+            return _congestion_main(campaign_argv, store=JobStore(args.store),
+                                    echo=True)
         return _campaign_main(args.kind, campaign_argv,
                               store=JobStore(args.store), echo=True)
 
@@ -398,13 +428,7 @@ def _topo_main(argv, store=None, echo: bool = False) -> int:
     check_jobs_arg(parser, args)
     if any(n < 2 for n in args.nodes):
         parser.error("--nodes entries must be >= 2")
-    from repro.net import make_topology
-    for spec in args.topologies:  # fail fast on bad specs/sizes
-        for n in args.nodes:
-            try:
-                make_topology(spec, n)
-            except ValueError as err:
-                parser.error(f"--topologies {spec!r} at {n} nodes: {err}")
+    check_topology_specs(parser, args.topologies, args.nodes)
 
     from repro.service import JobPreempted
 
@@ -449,6 +473,136 @@ def _topo_main(argv, store=None, echo: bool = False) -> int:
               f"{report.cache_stats['misses']} misses")
     failed = len(report.failures)
     print(f"\n{report.total - failed}/{report.total} points verified"
+          + (f", {failed} FAILED" if failed else ""))
+    return 0 if report.ok else 1
+
+
+# ------------------------------------------------------------- congestion
+def _congestion_progress(event) -> None:
+    p = event.record.params
+    m = event.record.metrics
+    marker = "ok" if m["ok"] else "FAIL"
+    src = "" if event.source == "run" else f" [{event.source}]"
+    print(f"[{event.done}/{event.total}] load={p['load']} "
+          f"{p['discipline']} {p['transport']} {p['strategy']} "
+          f"p99={m['p99_latency_ns']}ns {marker}{src}", flush=True)
+
+
+def _congestion_main(argv, store=None, echo: bool = False) -> int:
+    from repro.apps.congestion import (CONGESTION_DISCIPLINES,
+                                       CONGESTION_LOADS,
+                                       CONGESTION_STRATEGIES,
+                                       CONGESTION_TRANSPORTS,
+                                       run_congestion_campaign)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro congestion",
+        description="Under-load study: sweep background load x switch-queue "
+                    "discipline x ARQ transport x initiation strategy on a "
+                    "congested fat tree, reporting foreground goodput and "
+                    "p50/p99 latency with the packet-conservation and "
+                    "exactly-once monitors armed at every point.")
+    parser.add_argument("--loads", nargs="+", type=float, metavar="L",
+                        default=list(CONGESTION_LOADS),
+                        help="background load per node as a fraction of "
+                             f"link rate (default: {list(CONGESTION_LOADS)})")
+    parser.add_argument("--disciplines", nargs="+", metavar="D",
+                        choices=["drop-tail", "red", "red-ecn", "none"],
+                        default=list(CONGESTION_DISCIPLINES),
+                        help="switch-queue disciplines (default: "
+                             f"{list(CONGESTION_DISCIPLINES)})")
+    parser.add_argument("--transports", nargs="+", metavar="T",
+                        choices=["go-back-n", "selective-repeat"],
+                        default=list(CONGESTION_TRANSPORTS),
+                        help="ARQ engines (selective-repeat pairs with AIMD "
+                             f"pacing; default: {list(CONGESTION_TRANSPORTS)})")
+    parser.add_argument("--strategies", nargs="+", metavar="B",
+                        choices=["hdn", "gds", "gputn"],
+                        default=list(CONGESTION_STRATEGIES),
+                        help="initiation strategies to compare (default: "
+                             f"{list(CONGESTION_STRATEGIES)})")
+    parser.add_argument("--topology", default="fat-tree:k=4", metavar="SPEC",
+                        help="topology spec string (default: fat-tree:k=4)")
+    parser.add_argument("--nodes", type=int, default=16, metavar="N",
+                        help="cluster size (default: 16)")
+    parser.add_argument("--messages", type=int, default=32, metavar="M",
+                        help="foreground messages per point (default: 32)")
+    parser.add_argument("--nbytes", type=int, default=1024, metavar="B",
+                        help="foreground message size (default: 1024)")
+    parser.add_argument("--bg-horizon-ns", type=int, default=120_000,
+                        metavar="NS",
+                        help="background-traffic generation horizon "
+                             "(default: 120000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic/RED seed (default: 0)")
+    add_jobs_arg(parser)
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop dispatching new points after the first "
+                             "monitor violation or give-up")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="reuse point records across campaigns via a "
+                             "ResultCache at DIR")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full report as JSON")
+    args = parser.parse_args(argv)
+    check_jobs_arg(parser, args)
+    if args.nodes < 2:
+        parser.error(f"--nodes must be >= 2, got {args.nodes}")
+    if args.messages < 1:
+        parser.error(f"--messages must be >= 1, got {args.messages}")
+    if any(load < 0 for load in args.loads):
+        parser.error("--loads entries must be >= 0")
+    check_topology_specs(parser, [args.topology], [args.nodes])
+
+    from repro.service import JobPreempted
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = run_congestion_campaign(
+            loads=args.loads, disciplines=args.disciplines,
+            transports=args.transports, strategies=args.strategies,
+            topology=args.topology, n_nodes=args.nodes,
+            messages=args.messages, nbytes=args.nbytes,
+            bg_horizon_ns=args.bg_horizon_ns, seed=args.seed,
+            jobs=args.jobs, fail_fast=args.fail_fast, cache=cache,
+            store=store, progress=_congestion_progress if echo else None)
+    except JobPreempted as preempt:
+        print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
+              f"with: python -m repro jobs resume {preempt.job_id}",
+              flush=True)
+        return 130
+
+    print(f"{'load':>5} {'discipline':<11} {'transport':<17}  "
+          + "".join(f"{s + ' p99':>13}" for s in args.strategies)
+          + "  goodput(B/us)")
+    for key in sorted(report.by_case()):
+        load, disc, transport = key
+        per_strategy = report.by_case()[key]
+        cols = "".join(
+            f"{per_strategy[s]['p99_latency_ns'] if s in per_strategy else '-':>13}"
+            for s in args.strategies)
+        good = " ".join(
+            f"{s}:{m['goodput_bytes_per_us']}"
+            for s, m in sorted(per_strategy.items()))
+        print(f"{load:>5} {disc:<11} {transport:<17}  {cols}  {good}")
+    for r in report.failures:
+        p, m = r.params, r.metrics
+        why = ("gave up" if m["gave_up"] else
+               "; ".join(v["invariant"] for v in m["violations"])
+               or f"delivered {m['delivered']}/{m['requested']}")
+        print(f"\nFAIL load={p['load']} {p['discipline']} {p['transport']} "
+              f"{p['strategy']}: {why}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    if report.cache_stats is not None:
+        print(f"\ncache: {report.cache_stats['hits']} hits, "
+              f"{report.cache_stats['misses']} misses")
+    failed = len(report.failures)
+    print(f"\n{report.total - failed}/{report.total} points clean"
           + (f", {failed} FAILED" if failed else ""))
     return 0 if report.ok else 1
 
@@ -580,6 +734,8 @@ def main(argv=None) -> int:
         return _campaign_main("faults", argv[1:])
     if argv[:1] == ["topo"]:
         return _topo_main(argv[1:], echo=True)
+    if argv[:1] == ["congestion"]:
+        return _congestion_main(argv[1:], echo=True)
     if argv[:1] == ["jobs"]:
         return _jobs_main(argv[1:])
     if argv[:1] == ["stats"]:

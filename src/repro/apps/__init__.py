@@ -14,10 +14,18 @@
   (``python -m repro faults --degraded``);
 * :mod:`~repro.apps.topo_scale` -- the scale-out study: the collective
   schedule zoo across datacenter topologies at 16-256 nodes
-  (``python -m repro topo``).
+  (``python -m repro topo``);
+* :mod:`~repro.apps.congestion` -- the under-load study: strategies vs
+  background traffic, finite switch queues and congestion-controlled
+  transports (``python -m repro congestion``).
 """
 
 from repro.apps.allreduce_bench import run_allreduce, strong_scaling_study
+from repro.apps.congestion import (
+    CongestionExperiment,
+    CongestionReport,
+    run_congestion_campaign,
+)
 from repro.apps.deeplearning import WORKLOADS, project_deep_learning
 from repro.apps.degraded import (
     DegradedExperiment,
@@ -39,6 +47,8 @@ from repro.apps.microbench import (
 from repro.apps.topo_scale import TopoScaleReport, run_topo_campaign
 
 __all__ = [
+    "CongestionExperiment",
+    "CongestionReport",
     "DegradedExperiment",
     "JacobiExperiment",
     "JacobiResult",
@@ -52,6 +62,7 @@ __all__ = [
     "measure_launch_latency",
     "project_deep_learning",
     "run_allreduce",
+    "run_congestion_campaign",
     "run_degraded_sweep",
     "run_jacobi",
     "run_microbenchmark",

@@ -91,10 +91,24 @@ def ring_allreduce() -> int:
     return _events_of(execution.cluster.sim)
 
 
+def transport_recovery() -> int:
+    """Selective-repeat ARQ under 25% seeded loss on a congested point:
+    one loaded congestion-study case (RED+ECN queues, AIMD pacing), the
+    hot path of the retransmit/SACK/reorder machinery."""
+    from repro.apps.congestion import CongestionExperiment
+
+    execution = CongestionExperiment().execute(
+        {"strategy": "gputn", "transport": "selective-repeat",
+         "discipline": "red-ecn", "load": 0.8, "messages": 16,
+         "bg_horizon_ns": 60_000}, trace=False)
+    return _events_of(execution.cluster.sim)
+
+
 #: name -> zero-argument callable returning the event count.
 WORKLOADS: Dict[str, Callable[[], int]] = {
     "engine": engine_stress,
     "microbench": fig8_microbench,
     "jacobi": jacobi_small,
     "allreduce": ring_allreduce,
+    "transport": transport_recovery,
 }

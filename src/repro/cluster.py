@@ -122,6 +122,17 @@ class Cluster:
 
         return FaultPlan(fault_config, rng=rng).attach(self.fabric)
 
+    def enable_queues(self, queue_config, streams=None):
+        """Arm finite switch output-port queues on the fabric (see
+        :meth:`repro.net.Fabric.enable_queues`).  ``streams`` defaults to
+        a :class:`repro.sim.rng.RandomStreams` seeded from the system
+        config, so RED marking draws are reproducible per run."""
+        if streams is None:
+            from repro.sim.rng import RandomStreams
+
+            streams = RandomStreams(self.config.seed)
+        return self.fabric.enable_queues(queue_config, streams)
+
     def transport_counters(self) -> Dict[str, int]:
         """Merged reliability/fault counters across the cluster, ``{}``
         when nothing is armed (so plain RunRecords stay byte-identical)."""
@@ -137,6 +148,10 @@ class Cluster:
         if plan is not None and hasattr(plan, "counters"):
             for key, val in plan.counters().items():
                 merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0) + val
+        queues = self.fabric.queues
+        if queues is not None:
+            for key, val in queues.counters().items():
+                merged[key] = merged.get(key, 0) + val
         return merged
 
     # ------------------------------------------------------------ analysis

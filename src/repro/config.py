@@ -40,6 +40,7 @@ __all__ = [
     "NetworkConfig",
     "NicConfig",
     "NicStall",
+    "QueueConfig",
     "ReliabilityConfig",
     "SystemConfig",
     "default_config",
@@ -209,9 +210,13 @@ class NetworkConfig:
         return int(round(nbytes / self.bytes_per_ns))
 
 
+#: Reliable-transport ARQ modes (:class:`ReliabilityConfig.mode`).
+TRANSPORT_MODES = ("go-back-n", "selective-repeat")
+
+
 @dataclass(frozen=True)
 class ReliabilityConfig:
-    """NIC reliable-transport engine (go-back-N with cumulative ACKs).
+    """NIC reliable-transport engine (go-back-N or selective-repeat ARQ).
 
     Deliberately *not* a :class:`SystemConfig` section: the golden
     RunRecord fixtures fingerprint the whole SystemConfig tree, and the
@@ -220,7 +225,7 @@ class ReliabilityConfig:
     or :meth:`repro.nic.Nic.enable_reliability`).
     """
 
-    #: Go-back-N send window per destination peer (outstanding messages).
+    #: Send window per destination peer (outstanding messages).
     window: int = 8
     #: Wire size of ACK/NACK control packets (they consume real bandwidth).
     ack_bytes: int = 32
@@ -232,6 +237,25 @@ class ReliabilityConfig:
     #: progress, the peer link is declared dead and every outstanding and
     #: future send to it fails with a structured ``TransportError``.
     max_retries: int = 8
+    #: ARQ engine: ``"go-back-n"`` (whole-window resend, cumulative ACKs)
+    #: or ``"selective-repeat"`` (per-packet retransmit, receiver reorder
+    #: buffer, SACK-style cumulative+bitmap ACKs).
+    mode: str = "go-back-n"
+    #: Congestion-window pacing (selective-repeat only): AIMD window
+    #: limiting that halves on ECN echo / timeout and grows additively on
+    #: clean cumulative ACKs.  Off by default -- the full ``window`` is
+    #: always usable, matching the pre-pacing transports.
+    pacing: bool = False
+    #: AIMD floor: the congestion window never shrinks below this.
+    cwnd_floor: int = 1
+    #: AIMD ceiling: 0 means "use ``window``" (the window is the cap).
+    cwnd_ceiling: int = 0
+    #: Max uniform jitter added to each armed retransmit timeout, drawn
+    #: from a dedicated seeded ``repro.sim.rng`` substream
+    #: (``transport.backoff.<node>``) so arming faults or background
+    #: traffic can never perturb retransmit timing.  0 (the default)
+    #: never draws -- timing is bit-identical to the pre-jitter engine.
+    backoff_jitter_ns: int = 0
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -244,10 +268,74 @@ class ReliabilityConfig:
             raise ValueError("max_retries must be >= 0")
         if self.ack_bytes < 0:
             raise ValueError("ack_bytes must be >= 0")
+        if self.mode not in TRANSPORT_MODES:
+            raise ValueError(f"unknown transport mode {self.mode!r}; "
+                             f"choose from {list(TRANSPORT_MODES)}")
+        if self.cwnd_floor < 1:
+            raise ValueError("cwnd_floor must be >= 1")
+        if self.cwnd_ceiling < 0:
+            raise ValueError("cwnd_ceiling must be >= 0 (0 = window)")
+        if self.cwnd_ceiling and self.cwnd_ceiling < self.cwnd_floor:
+            raise ValueError("cwnd_ceiling must be >= cwnd_floor")
+        if self.backoff_jitter_ns < 0:
+            raise ValueError("backoff_jitter_ns must be >= 0")
 
     def timeout_after_retries(self, retries: int) -> int:
         """The armed timeout for retry round ``retries`` (0-based)."""
         return self.retransmit_timeout_ns * self.backoff_factor ** retries
+
+    @property
+    def effective_cwnd_ceiling(self) -> int:
+        return self.cwnd_ceiling or self.window
+
+
+#: Switch-queue disciplines (:class:`QueueConfig.discipline`).
+QUEUE_DISCIPLINES = ("drop-tail", "red")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Per-switch output-port queue model (:mod:`repro.net.queues`).
+
+    Like :class:`ReliabilityConfig`, deliberately *not* a SystemConfig
+    section: golden fixtures fingerprint the config tree, so finite
+    queues are a pure add-on armed explicitly per fabric
+    (:meth:`repro.net.Fabric.enable_queues`).  A fabric without queues
+    armed -- and any star run, whose routes never cross a switch output
+    port -- takes the exact pre-queue code path, byte for byte.
+    """
+
+    #: Queue discipline: ``"drop-tail"`` (drop when full) or ``"red"``
+    #: (random early detection with deterministic seeded draws).
+    discipline: str = "drop-tail"
+    #: Finite per-port capacity.  Arrivals that would push occupancy past
+    #: it are dropped (both disciplines: RED degrades to drop-tail at the
+    #: brick wall).
+    capacity_bytes: int = 64 * KB
+    #: RED: occupancy below this never drops/marks (and never draws).
+    red_min_bytes: int = 16 * KB
+    #: RED: occupancy at/above this always drops (or marks, with ECN).
+    red_max_bytes: int = 48 * KB
+    #: RED: drop/mark probability at ``red_max_bytes`` (linear ramp from
+    #: 0 at ``red_min_bytes``).
+    red_max_prob: float = 1.0
+    #: ECN: RED *marks* packets (congestion bit carried through the
+    #: fabric to the receiver, echoed on ACKs) instead of dropping them;
+    #: only the capacity brick wall still drops.
+    ecn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(f"unknown queue discipline {self.discipline!r}; "
+                             f"choose from {list(QUEUE_DISCIPLINES)}")
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+        if not 0 <= self.red_min_bytes < self.red_max_bytes:
+            raise ValueError("need 0 <= red_min_bytes < red_max_bytes")
+        if self.discipline == "red" and self.red_max_bytes > self.capacity_bytes:
+            raise ValueError("red_max_bytes must be <= capacity_bytes")
+        if not 0.0 <= self.red_max_prob <= 1.0:
+            raise ValueError("red_max_prob must be in [0, 1]")
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,28 @@ def _instrument_fabric(fabric, registry: MetricsRegistry) -> None:
 
     fabric.probes.append(on_transmit)
 
+    queues = getattr(fabric, "queues", None)
+    if queues is not None:
+        _instrument_queues(queues, registry)
+
+
+def _instrument_queues(queues, registry: MetricsRegistry) -> None:
+    """Queue telemetry: per-port depth time series + depth histogram.
+
+    Drop/mark totals come from ``queues.stats`` via transport counters;
+    here we record the *shape* of congestion -- when and where depth
+    built up -- which the counters cannot show.
+    """
+    depth_hist = registry.histogram("queue.depth_bytes")
+
+    def on_admit(now: int, key: tuple, depth: int) -> None:
+        port = f"queue.{key[0]}->{key[1]}"
+        registry.timeseries(f"{port}.depth_bytes", port=port).sample(now, depth)
+        registry.gauge(f"{port}.depth_bytes").set(depth)
+        depth_hist.record(depth)
+
+    queues.probes.append(on_admit)
+
 
 # ------------------------------------------------------------------- nic
 def _instrument_nic(nic, registry: MetricsRegistry) -> None:

@@ -17,6 +17,7 @@ supported for extension studies; per-hop latencies add along the path.
 
 from repro.net.fabric import DeliveredMessage, Fabric, FaultDecision
 from repro.net.packet import Message
+from repro.net.queues import SwitchQueues
 from repro.net.topologies import (DragonflyTopology, FatTreeTopology,
                                   SwitchFabricTopology, TorusTopology,
                                   make_topology)
@@ -24,4 +25,4 @@ from repro.net.topology import StarTopology, Topology
 
 __all__ = ["DeliveredMessage", "DragonflyTopology", "Fabric", "FatTreeTopology",
            "FaultDecision", "Message", "StarTopology", "SwitchFabricTopology",
-           "Topology", "TorusTopology", "make_topology"]
+           "SwitchQueues", "Topology", "TorusTopology", "make_topology"]

@@ -55,6 +55,9 @@ class DeliveredMessage:
     #: Payload failed the receive-side CRC (fault injection); reliable
     #: transports NACK and discard, plain NICs count and discard.
     corrupted: bool = False
+    #: An armed RED+ECN switch queue marked the packet en route; pacing
+    #: transports echo this on ACKs and shrink their congestion window.
+    ecn: bool = False
 
 
 @dataclass(frozen=True)
@@ -115,6 +118,10 @@ class Fabric:
         #: Fault interposer (:class:`repro.faults.FaultPlan` attachment);
         #: ``None`` keeps the fabric perfectly lossless.
         self.interposer = None
+        #: Finite switch-queue model (:class:`repro.net.queues.SwitchQueues`);
+        #: ``None`` keeps switch output ports unbounded (pre-queue timing,
+        #: byte for byte).
+        self.queues = None
         #: Per-node transport registry: reliable transports announce
         #: themselves here so a receiver can complete the sender's
         #: oracle delivery event (see :mod:`repro.nic.transport`).
@@ -145,6 +152,21 @@ class Fabric:
         if self.interposer is not None:
             raise RuntimeError("fabric already has a fault interposer")
         self.interposer = interposer
+
+    def enable_queues(self, config, streams=None):
+        """Arm finite switch output-port queues (at most once).
+
+        ``config`` is a :class:`repro.config.QueueConfig`; ``streams`` a
+        :class:`repro.sim.rng.RandomStreams` (required for RED, whose
+        marking draws come from dedicated per-port substreams).  Returns
+        the installed :class:`repro.net.queues.SwitchQueues`.
+        """
+        from repro.net.queues import SwitchQueues
+
+        if self.queues is not None:
+            raise RuntimeError("fabric already has switch queues")
+        self.queues = SwitchQueues(config, streams)
+        return self.queues
 
     # --------------------------------------------------------------- sending
     def transmit(self, msg: Message) -> Event:
@@ -189,6 +211,7 @@ class Fabric:
         # Head reaches the destination port once it propagates the path;
         # it cannot enter the wire before its turn at the egress port.
         route = self.topology.route(msg.src, msg.dst)
+        ecn_marked = False
         if route is None:
             # Endpoint-contention-only (the paper's star): propagation is
             # one closed-form number, contention lives at the endpoints.
@@ -203,6 +226,7 @@ class Fabric:
             # happen up front, not as the head actually arrives).
             topo = self.topology
             ports = self._switch_ports
+            queues = self.queues
             head = egress_end - ser
             last = len(route) - 1
             for i in range(1, last + 1):
@@ -213,7 +237,21 @@ class Fabric:
                     port = ports.get(key)
                     if port is None:
                         port = ports[key] = _Port()
-                    head, _ = port.reserve(now, ser, earliest=head)
+                    if queues is None:
+                        head, _ = port.reserve(now, ser, earliest=head)
+                    else:
+                        head, marked = queues.admit(key, port, msg, now, head, ser)
+                        if head is None:
+                            # Queue overflow / RED drop: like an interposer
+                            # drop -- no ingress occupancy, no delivery, no
+                            # probe; the delivery event never fires.
+                            if traced:
+                                tracer.point(now, route[i], "queue", "drop",
+                                             msg_id=msg.msg_id, dst=msg.dst,
+                                             nbytes=msg.nbytes)
+                            return done
+                        if marked:
+                            ecn_marked = True
             head_at_ingress = head + verdict.extra_delay_ns
         _, ingress_end = self._ingress[msg.dst].reserve(now, ser, earliest=head_at_ingress)
         delivery_time = ingress_end
@@ -221,7 +259,7 @@ class Fabric:
             # NIC rx stall windows defer delivery past port occupancy.
             delivery_time = self.interposer.adjust_delivery(msg.dst, delivery_time)
         delivered = DeliveredMessage(msg, sent_at=now, delivered_at=delivery_time,
-                                     corrupted=verdict.corrupt)
+                                     corrupted=verdict.corrupt, ecn=ecn_marked)
         if verdict.corrupt and traced:
             tracer.point(now, msg.src, "fault", "corrupt",
                          msg_id=msg.msg_id, dst=msg.dst)

@@ -302,13 +302,27 @@ class TorusTopology(SwitchFabricTopology):
 # Spec-string factory
 # --------------------------------------------------------------------------
 
+#: One-line grammar reminder appended to every spec-parse error so CLI
+#: users see the supported shapes without digging into the docs.
+_SPEC_GRAMMAR = ("star, fat-tree[:k=K], torus[:AxB...], or "
+                 "dragonfly[:a=A,g=G,p=P]")
+
+
 def _parse_kv(body: str) -> Dict[str, int]:
     out: Dict[str, int] = {}
     for part in filter(None, body.split(",")):
         key, _, val = part.partition("=")
         if not val:
-            raise ValueError(f"malformed topology parameter {part!r}")
-        out[key.strip()] = int(val)
+            raise ValueError(f"malformed topology parameter {part!r}: "
+                             f"expected key=INT (supported specs: "
+                             f"{_SPEC_GRAMMAR})")
+        try:
+            out[key.strip()] = int(val)
+        except ValueError:
+            raise ValueError(
+                f"topology parameter {part.strip()!r}: {val.strip()!r} is "
+                f"not an integer (supported specs: {_SPEC_GRAMMAR})"
+            ) from None
     return out
 
 
@@ -355,13 +369,19 @@ def make_topology(spec: str, n_nodes: int, link_latency_ns: int = 100,
                                  switch_latency_ns=switch_latency_ns,
                                  global_latency_ns=params.get("global_latency_ns"))
     if name == "torus":
-        dims = (tuple(int(d) for d in body.replace(" ", "").split("x"))
-                if body else _auto_torus_dims(n_nodes))
+        if body:
+            try:
+                dims = tuple(int(d) for d in body.replace(" ", "").split("x"))
+            except ValueError:
+                raise ValueError(
+                    f"torus dimensions {body!r}: expected INTxINT... like "
+                    f"torus:8x8 (supported specs: {_SPEC_GRAMMAR})") from None
+        else:
+            dims = _auto_torus_dims(n_nodes)
         if math.prod(dims) != n_nodes:
             raise ValueError(f"torus {'x'.join(map(str, dims))} has "
                              f"{math.prod(dims)} hosts, cluster has {n_nodes}")
         return TorusTopology(dims, link_latency_ns=link_latency_ns,
                              switch_latency_ns=switch_latency_ns)
     raise ValueError(
-        f"unknown topology spec {spec!r}; expected star, fat-tree[:k=K], "
-        f"torus[:AxB...], or dragonfly[:a=A,g=G,p=P]")
+        f"unknown topology spec {spec!r}; expected {_SPEC_GRAMMAR}")

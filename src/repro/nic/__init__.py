@@ -14,14 +14,16 @@ The NIC is where the paper's contribution lives:
 * :mod:`~repro.nic.portals` -- a thin Portals-4-flavored API layer
   (counters, memory descriptors, triggered puts) matching how the paper
   describes its prototype;
-* :mod:`~repro.nic.transport` -- the optional go-back-N reliable
-  transport (sequence numbers, ACK/NACK, retransmit timers, retry
-  budget) armed per NIC via :meth:`Nic.enable_reliability` for fault
-  campaigns (:mod:`repro.faults`).
+* :mod:`~repro.nic.transport` -- the optional reliable transports
+  (go-back-N and selective-repeat/SACK with AIMD pacing: sequence
+  numbers, ACK/NACK, retransmit timers, retry budget) armed per NIC via
+  :meth:`Nic.enable_reliability` for fault and congestion campaigns
+  (:mod:`repro.faults`, :mod:`repro.traffic`).
 """
 
 from repro.nic.device import Nic, PutHandle, RecvHandle
-from repro.nic.transport import ReliableTransport, TransportError
+from repro.nic.transport import (ReliableTransport, SelectiveRepeatTransport,
+                                 TransportError, make_transport)
 from repro.nic.lookup import (
     AssociativeLookup,
     CachedLookup,
@@ -42,9 +44,11 @@ __all__ = [
     "PutHandle",
     "RecvHandle",
     "ReliableTransport",
+    "SelectiveRepeatTransport",
     "TransportError",
     "TriggerEntry",
     "TriggerList",
     "TriggerListFull",
     "make_lookup",
+    "make_transport",
 ]

@@ -143,7 +143,8 @@ class Nic:
 
     # ------------------------------------------------------- reliable transport
     def enable_reliability(self, config: Optional[ReliabilityConfig] = None):
-        """Arm the go-back-N reliable transport on this NIC.
+        """Arm the reliable transport on this NIC (go-back-N by default,
+        selective-repeat via ``ReliabilityConfig(mode=...)``).
 
         Must run before any traffic flows (sequence numbers start at the
         first send).  Returns the :class:`~repro.nic.transport.
@@ -151,9 +152,9 @@ class Nic:
         """
         if self.transport is not None:
             raise RuntimeError(f"reliability already enabled on {self.node}")
-        from repro.nic.transport import ReliableTransport
+        from repro.nic.transport import make_transport
 
-        self.transport = ReliableTransport(self, config or ReliabilityConfig())
+        self.transport = make_transport(self, config or ReliabilityConfig())
         return self.transport
 
     def _transmit(self, msg: Message,

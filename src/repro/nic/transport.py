@@ -40,8 +40,10 @@ from repro.config import ReliabilityConfig
 from repro.net.fabric import DeliveredMessage
 from repro.net.packet import Message, MessageKind
 from repro.sim import Event
+from repro.sim.rng import RandomStreams
 
-__all__ = ["ReliableTransport", "TransportError"]
+__all__ = ["ReliableTransport", "SelectiveRepeatTransport", "TransportError",
+           "make_transport"]
 
 
 class TransportError(RuntimeError):
@@ -74,6 +76,9 @@ class _Entry:
     event: Event
     on_first_tx: Optional[Callable[[], None]] = None
     sent: bool = False
+    #: Selective-repeat only: SACKed out of order (held for the
+    #: cumulative slide, excluded from retransmission).
+    acked: bool = False
 
 
 @dataclass(slots=True)
@@ -91,6 +96,20 @@ class _TxState:
 
 
 @dataclass(slots=True)
+class _SrTxState(_TxState):
+    """Sender-side selective-repeat extras: AIMD congestion window."""
+
+    #: Fractional congestion window (only consulted when pacing is on).
+    cwnd: float = 1.0
+    #: Cut-once-per-RTT watermark: no further multiplicative decrease
+    #: until the window head passes this sequence.
+    cut_watermark: int = -1
+    #: Last head sequence fast-retransmitted on SACK evidence (one fast
+    #: retransmit per hole; the timer covers repeated loss).
+    last_fast_retx: int = -1
+
+
+@dataclass(slots=True)
 class _RxState:
     """Receiver-side state for one source peer."""
 
@@ -98,6 +117,16 @@ class _RxState:
     #: Last expected-value we NACKed (suppresses NACK storms: one NACK
     #: per distinct gap; the sender's timer covers lost NACKs).
     nacked_for: int = -1
+
+
+@dataclass(slots=True)
+class _SrRxState:
+    """Receiver-side selective-repeat state: the reorder buffer."""
+
+    expected: int = 0
+    #: Out-of-order arrivals held until the gap below them fills,
+    #: keyed by sequence number.
+    buffer: Dict[int, DeliveredMessage] = field(default_factory=dict)
 
 
 class ReliableTransport:
@@ -128,6 +157,14 @@ class ReliableTransport:
             "rx_dups": 0, "rx_gaps": 0, "rx_corrupt": 0,
             "give_ups": 0, "errors": 0,
         }
+        #: Retransmit-backoff jitter draws come from a dedicated seeded
+        #: substream (``transport.backoff.<node>``), never a shared RNG:
+        #: arming faults, queues or background traffic cannot perturb
+        #: retransmit timing.  The default jitter of 0 never draws, so
+        #: pre-jitter runs are bit-identical.
+        self._backoff_rng = (
+            RandomStreams(nic.config.seed).stream(f"transport.backoff.{nic.node}")
+            if config.backoff_jitter_ns > 0 else None)
         self.fabric.register_rx_filter(self.node, self._on_rx)
         self.fabric.transports[self.node] = self
 
@@ -155,12 +192,16 @@ class ReliableTransport:
                        on_first_tx=on_first_tx)
         st.next_seq += 1
         msg.seq = entry.seq
-        if len(st.window) < self.rc.window:
+        if len(st.window) < self._send_limit(st):
             st.window.append(entry)
             self._tx_entry(st, entry)
         else:
             st.pending.append(entry)
         return ev
+
+    def _send_limit(self, st: _TxState) -> int:
+        """Admission limit on in-flight messages (overridden by pacing)."""
+        return self.rc.window
 
     def _tx_state(self, peer: str) -> _TxState:
         st = self._tx.get(peer)
@@ -203,6 +244,9 @@ class ReliableTransport:
         # 20 us, so single-switch timing is untouched.
         delay = max(self.rc.timeout_after_retries(st.retries),
                     2 * self._rtt_floor_ns(st))
+        if self._backoff_rng is not None:
+            delay += int(self._backoff_rng.integers(
+                0, self.rc.backoff_jitter_ns + 1))
         self.sim.call_later(delay, self._on_timer, st, st.timer_gen)
 
     def _disarm_timer(self, st: _TxState) -> None:
@@ -261,7 +305,7 @@ class ReliableTransport:
         if not progressed:
             return
         st.retries = 0
-        while st.pending and len(st.window) < self.rc.window:
+        while st.pending and len(st.window) < self._send_limit(st):
             entry = st.pending.popleft()
             st.window.append(entry)
             self._tx_entry(st, entry)
@@ -372,3 +416,227 @@ class ReliableTransport:
                    "dead": int(st.dead)}
             for peer, st in sorted(self._tx.items())
         }
+
+
+class SelectiveRepeatTransport(ReliableTransport):
+    """Selective-repeat ARQ with SACK and optional AIMD pacing.
+
+    Same lifecycle, probes and exactly-once guarantees as the go-back-N
+    engine, but loss recovery retransmits *only* what is missing:
+
+    * the receiver keeps a **reorder buffer** -- out-of-order arrivals
+      are held (never discarded) and delivered to the NIC's handlers in
+      sequence order the instant the gap below them fills, so acceptance
+      stays exactly-once and exactly-in-order
+      (:class:`~repro.validate.monitors.ReliableDeliveryMonitor` holds);
+    * every ACK is a **SACK**: cumulative highest-in-order sequence plus
+      the sorted list of buffered out-of-order sequences in
+      ``Message.meta["sack"]``.  SACKed window entries are excluded from
+      retransmission; SACK evidence above an unSACKed window head
+      triggers one **fast retransmit** of the head per hole;
+    * retransmit timeouts resend only the unSACKed window entries;
+    * with ``ReliabilityConfig.pacing`` on, an **AIMD congestion
+      window** (floor/ceiling from config) gates admission: +1 MSS per
+      window of clean cumulative progress, halved (at most once per
+      in-flight window) on an **ECN echo** -- receivers copy the
+      :class:`~repro.net.fabric.DeliveredMessage` congestion bit set by
+      RED+ECN switch queues into ``meta["ecn"]`` on the ACK -- or on a
+      retransmit timeout.
+
+    Selected via ``ReliabilityConfig(mode="selective-repeat")``; see
+    :func:`make_transport`.
+    """
+
+    def __init__(self, nic, config: ReliabilityConfig):
+        super().__init__(nic, config)
+        self.stats.update({"sacked": 0, "fast_retransmits": 0,
+                           "rx_buffered": 0, "cwnd_cuts": 0})
+
+    # ------------------------------------------------------------- send side
+    def _tx_state(self, peer: str) -> _SrTxState:
+        st = self._tx.get(peer)
+        if st is None:
+            self._tx[peer] = st = _SrTxState(
+                peer, cwnd=float(self.rc.effective_cwnd_ceiling))
+        return st
+
+    def _send_limit(self, st: _TxState) -> int:
+        if not self.rc.pacing:
+            return self.rc.window
+        return max(self.rc.cwnd_floor, min(self.rc.window, int(st.cwnd)))
+
+    def _cwnd_cut(self, st: _SrTxState, cause: str) -> None:
+        """Multiplicative decrease, at most once per in-flight window."""
+        if not self.rc.pacing:
+            return
+        if st.window and st.window[0].seq < st.cut_watermark:
+            return  # still reacting to the previous congestion signal
+        st.cut_watermark = st.next_seq
+        st.cwnd = max(float(self.rc.cwnd_floor), st.cwnd / 2.0)
+        self.stats["cwnd_cuts"] += 1
+        self.nic.tracer.point(self.sim.now, self.node, "nic", "cwnd-cut",
+                              peer=st.peer, cause=cause, cwnd=int(st.cwnd))
+
+    # -------------------------------------------------------------- timers
+    def _on_timer(self, st: _SrTxState, gen: int) -> None:
+        if gen != st.timer_gen or st.dead or not st.window:
+            return
+        st.timer_armed = False
+        self.stats["timeouts"] += 1
+        st.retries += 1
+        if st.retries > self.rc.max_retries:
+            self._give_up(st)
+            return
+        self._cwnd_cut(st, cause="timeout")
+        # Selective repeat: resend only the unSACKed entries.  If every
+        # entry is SACKed the cumulative ACK itself was lost -- resend
+        # the head; the receiver dup-detects and re-ACKs.
+        targets = [e for e in st.window if not e.acked] or [st.window[0]]
+        base = st.window[0].seq
+        self.nic.tracer.point(self.sim.now, self.node, "nic", "retransmit",
+                              peer=st.peer, base_seq=base, cause="timeout",
+                              round=st.retries, in_flight=len(targets))
+        self._emit("retransmit", st.peer, base)
+        self.stats["retransmits"] += len(targets)
+        for entry in targets:
+            self.fabric.transmit(entry.msg)
+        self._arm_timer(st)
+
+    # ----------------------------------------------------------- ack intake
+    def _on_sack(self, peer: str, ackseq: int,
+                 sack: Optional[List[int]], ecn: bool) -> None:
+        st = self._tx.get(peer)
+        self.stats["acks_rx"] += 1
+        if st is None or st.dead:
+            return
+        newly_acked = 0
+        while st.window and st.window[0].seq <= ackseq:
+            st.window.popleft()
+            newly_acked += 1
+        if sack:
+            sackset = set(sack)
+            for entry in st.window:
+                if not entry.acked and entry.seq in sackset:
+                    entry.acked = True
+                    self.stats["sacked"] += 1
+        if ecn:
+            self._cwnd_cut(st, cause="ecn")
+        elif newly_acked and self.rc.pacing:
+            # Additive increase: ~ +1 message per window of clean progress.
+            st.cwnd = min(float(self.rc.effective_cwnd_ceiling),
+                          st.cwnd + newly_acked / max(st.cwnd, 1.0))
+        if newly_acked:
+            st.retries = 0
+        # SACK evidence above an unSACKed head means the head (at least)
+        # is missing at the receiver: fast-retransmit it, once per hole.
+        if (sack and st.window and not st.window[0].acked
+                and max(sack) > st.window[0].seq):
+            head = st.window[0]
+            if st.last_fast_retx != head.seq:
+                st.last_fast_retx = head.seq
+                self.stats["fast_retransmits"] += 1
+                self._emit("retransmit", peer, head.seq)
+                self.nic.tracer.point(self.sim.now, self.node, "nic",
+                                      "fast-retransmit", peer=peer,
+                                      seq=head.seq)
+                self.fabric.transmit(head.msg)
+        while st.pending and len(st.window) < self._send_limit(st):
+            entry = st.pending.popleft()
+            st.window.append(entry)
+            self._tx_entry(st, entry)
+        if not st.window:
+            self._disarm_timer(st)
+        elif newly_acked:
+            self._arm_timer(st)
+
+    # ----------------------------------------------------------- recv side
+    def _on_rx(self, delivered: DeliveredMessage) -> bool:
+        msg = delivered.message
+        if msg.kind is MessageKind.ACK and msg.seq is not None:
+            if not delivered.corrupted:
+                meta = msg.meta
+                self._on_sack(msg.src, msg.seq, meta.get("sack"),
+                              bool(meta.get("ecn")))
+            return False
+        if msg.kind is MessageKind.NACK:
+            # Mixed-mode defense (a go-back-N receiver peer): honor the
+            # cumulative semantics via the base engine.
+            if not delivered.corrupted:
+                self._on_nack(msg.src, msg.seq)
+            return False
+        if msg.seq is None:
+            return True
+        rx = self._rx.setdefault(msg.src, _SrRxState())
+        if delivered.corrupted:
+            self.stats["rx_corrupt"] += 1
+            self._emit("corrupt", msg.src, msg.seq)
+            self._sr_ack(msg.src, rx, ecn=False)
+            return False
+        if msg.seq < rx.expected or msg.seq in rx.buffer:
+            # Retransmitted duplicate: drop before any handler sees it
+            # (exactly-once), re-SACK so the sender resynchronizes.
+            self.stats["rx_dups"] += 1
+            self._emit("dup", msg.src, msg.seq)
+            self._sr_ack(msg.src, rx, ecn=delivered.ecn)
+            return False
+        if msg.seq == rx.expected:
+            if not rx.buffer:
+                # Common in-order case: identical flow to go-back-N.
+                rx.expected += 1
+                self._emit("accept", msg.src, msg.seq)
+                self._sr_ack(msg.src, rx, ecn=delivered.ecn)
+                sender = self.fabric.transports.get(msg.src)
+                if sender is not None:
+                    sender.on_peer_accept(self.node, msg.seq, delivered)
+                return True
+            # Gap filled with buffered successors waiting: the whole run
+            # must reach the NIC's handlers in sequence order.  The
+            # filter phase runs *before* the fabric dispatches handlers
+            # for the current message, so we consume the delivery and
+            # dispatch the in-order chain ourselves.
+            chain = [delivered]
+            ecn_seen = delivered.ecn
+            rx.expected += 1
+            while rx.expected in rx.buffer:
+                nxt = rx.buffer.pop(rx.expected)
+                chain.append(nxt)
+                ecn_seen = ecn_seen or nxt.ecn
+                rx.expected += 1
+            handlers = self._rx_handler_list()
+            sender = self.fabric.transports.get(msg.src)
+            for d in chain:
+                self._emit("accept", msg.src, d.message.seq)
+                for handler in handlers:
+                    handler(d)
+                if sender is not None:
+                    sender.on_peer_accept(self.node, d.message.seq, d)
+            self._sr_ack(msg.src, rx, ecn=ecn_seen)
+            return False
+        # Out of order above a gap: hold it (selective repeat's whole
+        # point) and SACK so the sender repairs just the hole.
+        self.stats["rx_buffered"] += 1
+        self._emit("buffer", msg.src, msg.seq)
+        rx.buffer[msg.seq] = delivered
+        self._sr_ack(msg.src, rx, ecn=delivered.ecn)
+        return False
+
+    def _rx_handler_list(self) -> List[Callable[[DeliveredMessage], None]]:
+        return list(self.fabric._rx_handlers[self.node])
+
+    def _sr_ack(self, peer: str, rx: _SrRxState, ecn: bool) -> None:
+        self.stats["acks_tx"] += 1
+        meta: Dict[str, object] = {}
+        if rx.buffer:
+            meta["sack"] = sorted(rx.buffer)
+        if ecn:
+            meta["ecn"] = True
+        self.fabric.transmit(Message(
+            src=self.node, dst=peer, nbytes=self.rc.ack_bytes,
+            kind=MessageKind.ACK, seq=rx.expected - 1, meta=meta))
+
+
+def make_transport(nic, config: ReliabilityConfig) -> ReliableTransport:
+    """Construct the ARQ engine :class:`ReliabilityConfig.mode` selects."""
+    if config.mode == "selective-repeat":
+        return SelectiveRepeatTransport(nic, config)
+    return ReliableTransport(nic, config)

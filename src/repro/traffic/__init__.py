@@ -1,0 +1,40 @@
+"""Traffic generation: seeded background load for congestion studies.
+
+The fabric and transport answer "how fast is GPU-TN on an idle network";
+this package answers "and under load?".  It provides:
+
+* :mod:`~repro.traffic.generators` -- Poisson, bursty on-off,
+  permutation and incast :class:`TrafficPattern` generators producing
+  deterministic :class:`TrafficEvent` lists from named
+  :class:`repro.sim.rng.RandomStreams` substreams;
+* :mod:`~repro.traffic.traces` -- synthetic LLM-training (synchronized
+  periodic ring-allreduce bursts) and MoE-inference (randomized
+  alltoall fan-out) communication traces;
+* :mod:`~repro.traffic.background` -- :func:`attach_traffic` /
+  :class:`BackgroundLoad`, replaying any event list onto a live
+  :class:`repro.cluster.Cluster` alongside a foreground workload.
+
+The congestion study (:mod:`repro.apps.congestion`, ``repro
+congestion``) composes these with the switch-queue models
+(:mod:`repro.net.queues`) and the selective-repeat/paced transport
+(:mod:`repro.nic.transport`).
+"""
+
+from repro.traffic.background import BackgroundLoad, attach_traffic
+from repro.traffic.generators import (IncastTraffic, OnOffTraffic,
+                                      PermutationTraffic, PoissonTraffic,
+                                      TrafficEvent, TrafficPattern)
+from repro.traffic.traces import llm_training_trace, moe_inference_trace
+
+__all__ = [
+    "BackgroundLoad",
+    "IncastTraffic",
+    "OnOffTraffic",
+    "PermutationTraffic",
+    "PoissonTraffic",
+    "TrafficEvent",
+    "TrafficPattern",
+    "attach_traffic",
+    "llm_training_trace",
+    "moe_inference_trace",
+]

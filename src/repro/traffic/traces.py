@@ -1,0 +1,91 @@
+"""Synthetic deep-learning communication traces.
+
+Two workload shapes dominate modern cluster traffic, and both stress the
+fabric very differently from random background load:
+
+* **LLM training** -- compute-quiet phases punctuated by dense,
+  *synchronized* gradient allreduce bursts every optimizer step: every
+  node talks at once, in a ring, for a few microseconds.  The burst
+  synchrony is the point: queues that look empty on average overflow at
+  step boundaries.
+* **MoE inference** -- each token dispatch fans out activations from
+  every node to its top-``k`` expert hosts (an irregular, randomized
+  alltoall) and gathers them back, creating rotating incast hotspots at
+  popular experts.
+
+Both traces return plain :class:`~repro.traffic.generators.TrafficEvent`
+lists (same contract as the generators) so they can be attached as
+background load or studied as the foreground pattern.  LLM training is
+draw-free (fully periodic); MoE expert choices come from per-rank
+``traffic.moe.n<rank>`` substreams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.rng import RandomStreams
+from repro.traffic.generators import TrafficEvent
+
+__all__ = ["llm_training_trace", "moe_inference_trace"]
+
+
+def llm_training_trace(n_nodes: int, horizon_ns: int, step_ns: int,
+                       nbytes: int, rounds: int = 0,
+                       chunk_gap_ns: int = 200) -> List[TrafficEvent]:
+    """Periodic ring-allreduce gradient bursts.
+
+    Every ``step_ns`` (one optimizer step), each node streams ``rounds``
+    chunks of ``nbytes`` to its ring successor back to back (``rounds``
+    defaults to ``n_nodes - 1``, one reduce-scatter pass), chunks spaced
+    ``chunk_gap_ns`` apart.  Deterministic: no random draws.
+    """
+    if n_nodes < 2:
+        raise ValueError("trace needs >= 2 nodes")
+    if min(horizon_ns, step_ns, nbytes, chunk_gap_ns) <= 0:
+        raise ValueError("horizon, step, nbytes and chunk gap must be positive")
+    rounds = rounds or (n_nodes - 1)
+    out: List[TrafficEvent] = []
+    t = step_ns
+    while t < horizon_ns:
+        for r in range(rounds):
+            at = t + r * chunk_gap_ns
+            if at >= horizon_ns:
+                break
+            for src in range(n_nodes):
+                out.append(TrafficEvent(at, src, (src + 1) % n_nodes, nbytes))
+        t += step_ns
+    return out
+
+
+def moe_inference_trace(n_nodes: int, horizon_ns: int, dispatch_ns: int,
+                        nbytes: int, experts_per_token: int = 2,
+                        streams: Optional[RandomStreams] = None,
+                        seed: int = 0) -> List[TrafficEvent]:
+    """Mixture-of-experts dispatch fan-out.
+
+    Every ``dispatch_ns``, each node routes its activations to
+    ``experts_per_token`` distinct random expert hosts (never itself).
+    Expert choices are drawn per source rank from dedicated
+    ``traffic.moe.n<rank>`` substreams, so the hotspot rotation is
+    reproducible and independent of other armed randomness.
+    """
+    if n_nodes < 2:
+        raise ValueError("trace needs >= 2 nodes")
+    if min(horizon_ns, dispatch_ns, nbytes) <= 0:
+        raise ValueError("horizon, dispatch period and nbytes must be positive")
+    k = min(experts_per_token, n_nodes - 1)
+    if k < 1:
+        raise ValueError("experts_per_token must be >= 1")
+    streams = streams or RandomStreams(seed)
+    rngs = [streams.stream(f"traffic.moe.n{src}") for src in range(n_nodes)]
+    out: List[TrafficEvent] = []
+    t = dispatch_ns
+    while t < horizon_ns:
+        for src in range(n_nodes):
+            others = [r for r in range(n_nodes) if r != src]
+            experts = rngs[src].choice(others, size=k, replace=False)
+            for dst in sorted(int(e) for e in experts):
+                out.append(TrafficEvent(t, src, dst, nbytes))
+        t += dispatch_ns
+    return out

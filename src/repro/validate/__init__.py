@@ -30,6 +30,7 @@ from repro.validate.monitors import (
     FabricOrderMonitor,
     Monitor,
     MonotoneClockMonitor,
+    PacketConservationMonitor,
     ReliableDeliveryMonitor,
     SendBufferSafetyMonitor,
     attach_monitors,
@@ -46,6 +47,7 @@ __all__ = [
     "InvariantViolation",
     "Monitor",
     "MonotoneClockMonitor",
+    "PacketConservationMonitor",
     "ReliableDeliveryMonitor",
     "SendBufferSafetyMonitor",
     "ValidateExperiment",

@@ -25,6 +25,7 @@ __all__ = [
     "FabricOrderMonitor",
     "Monitor",
     "MonotoneClockMonitor",
+    "PacketConservationMonitor",
     "ReliableDeliveryMonitor",
     "SendBufferSafetyMonitor",
     "attach_monitors",
@@ -344,6 +345,90 @@ class ReliableDeliveryMonitor(Monitor):
                     "messages never recovered)",
                     node=src, dst=dst, highest_sent=highest_sent,
                     highest_accepted=accepted)
+
+
+class PacketConservationMonitor(Monitor):
+    """Invariant 9: no packet leak.  Every message injected into the
+    fabric is accounted for: scheduled for delivery, dropped by the
+    fault interposer, or dropped by a finite switch queue -- nothing
+    vanishes without a counted cause.  With reliable transports armed,
+    the end-of-run state must also be fully drained: no sequence stuck
+    in a receiver's reorder buffer and no entry stranded in a live
+    sender window (dead flows, whose tails are allowed to die, are
+    exempt).  A run truncated mid-flight fails the drain check -- by
+    design: a congestion sweep point that never quiesced is not a valid
+    measurement.
+
+    Not part of :func:`default_monitors` (the §6 invariant set those pin
+    is fabric/engine-level); armed explicitly by the congestion study
+    and its CI smoke job.
+    """
+
+    invariant = "packet-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fabric = None
+        self._scheduled = 0
+        self._transports: List[Any] = []
+
+    def attach(self, cluster) -> None:
+        super().attach(cluster)
+        self._fabric = cluster.fabric
+        cluster.fabric.probes.append(self._on_transmit)
+        for nic in _nics_of(cluster):
+            transport = getattr(nic, "transport", None)
+            if transport is not None:
+                self._transports.append(transport)
+
+    def _on_transmit(self, msg, sent_at: int, egress_end: int,
+                     delivered_at: int) -> None:
+        # The fabric probes exactly the transmissions it schedules for
+        # delivery (drops -- fault or queue -- are never probed).
+        self._scheduled += 1
+
+    def finalize(self) -> None:
+        fabric = self._fabric
+        injected = fabric.stats["messages"]
+        fault_drops = (fabric.interposer.stats.get("drops", 0)
+                       if fabric.interposer is not None else 0)
+        queue_drops = (fabric.queues.stats.get("dropped", 0)
+                       if fabric.queues is not None else 0)
+        accounted = self._scheduled + fault_drops + queue_drops
+        if accounted != injected:
+            self.violation(
+                f"packet leak: {injected} messages injected but only "
+                f"{accounted} accounted for ({self._scheduled} scheduled "
+                f"for delivery + {fault_drops} fault drops + "
+                f"{queue_drops} queue drops)",
+                injected=injected, scheduled=self._scheduled,
+                fault_drops=fault_drops, queue_drops=queue_drops)
+        for transport in self._transports:
+            flows = transport.flows()
+            for rx_peer, rx in getattr(transport, "_rx", {}).items():
+                buffered = getattr(rx, "buffer", None)
+                if not buffered:
+                    continue
+                peer_tx = fabric.transports.get(rx_peer)
+                peer_dead = (peer_tx is not None
+                             and peer_tx.flows()
+                                 .get(transport.node, {}).get("dead"))
+                if peer_dead:
+                    continue  # sender gave up; the hole is never repaired
+                self.violation(
+                    f"reorder-buffer leak at {transport.node}: seqs "
+                    f"{sorted(buffered)} from {rx_peer} held above an "
+                    "unrepaired gap at end of run",
+                    node=transport.node, src=rx_peer,
+                    stranded=sorted(buffered))
+            for peer, flow in flows.items():
+                if flow["in_flight"] and not flow["dead"]:
+                    self.violation(
+                        f"undrained send window {transport.node}->{peer}: "
+                        f"{flow['in_flight']} messages still in flight on "
+                        "a live flow at end of run",
+                        node=transport.node, dst=peer,
+                        in_flight=flow["in_flight"])
 
 
 def default_monitors() -> List[Monitor]:

@@ -16,13 +16,14 @@ from repro.bench.workloads import engine_stress
 class TestWorkloads:
     def test_registry_names(self):
         assert set(WORKLOADS) == {"engine", "microbench", "jacobi",
-                                  "allreduce"}
+                                  "allreduce", "transport"}
 
     def test_engine_stress_counts_callbacks(self):
         events = engine_stress(n_rounds=2_000)
         assert events >= 2_000
 
-    @pytest.mark.parametrize("name", ["microbench", "jacobi", "allreduce"])
+    @pytest.mark.parametrize("name", ["microbench", "jacobi", "allreduce",
+                                      "transport"])
     def test_system_workloads_return_events(self, name):
         assert WORKLOADS[name]() > 0
 
