@@ -231,7 +231,8 @@ def _print_campaign_report(kind: str, report, json_path=None) -> int:
     return 0 if report.ok else 1
 
 
-def _campaign_main(kind: str, argv, store=None, echo: bool = False) -> int:
+def _campaign_main(kind: str, argv, store=None, echo: bool = False,
+                   checkpoint=None) -> int:
     workloads, runner, seeds_default, description = _campaign_kind(kind)
     parser = argparse.ArgumentParser(prog=f"python -m repro {kind}",
                                      description=description)
@@ -258,7 +259,8 @@ def _campaign_main(kind: str, argv, store=None, echo: bool = False) -> int:
         report = runner(workloads=args.workloads, seeds=args.seeds,
                         seed_start=args.seed_start, jobs=args.jobs,
                         fail_fast=args.fail_fast, cache=cache, store=store,
-                        progress=_campaign_progress if echo else None)
+                        progress=_campaign_progress if echo else None,
+                        checkpoint=checkpoint)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} cases; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -294,15 +296,28 @@ def _jobs_main(argv) -> int:
         parser.add_argument("--store", metavar="DIR", default=None,
                             help="job store root (default: .repro-jobs, or "
                                  "$REPRO_JOBS_DIR)")
+        parser.add_argument("--checkpoint-interval-ns", type=int, default=None,
+                            metavar="NS",
+                            help="snapshot every point's simulator state "
+                                 "every NS sim-ns into the job's checkpoint "
+                                 "directory; a killed worker resumes its "
+                                 "in-flight point from the latest snapshot "
+                                 "instead of t=0 (records stay byte-"
+                                 "identical)")
         args, campaign_argv = parser.parse_known_args(rest)
+        if (args.checkpoint_interval_ns is not None
+                and args.checkpoint_interval_ns <= 0):
+            parser.error("--checkpoint-interval-ns must be positive")
+        checkpoint = args.checkpoint_interval_ns
         if args.kind == "topo":
             return _topo_main(campaign_argv, store=JobStore(args.store),
-                              echo=True)
+                              echo=True, checkpoint=checkpoint)
         if args.kind == "congestion":
             return _congestion_main(campaign_argv, store=JobStore(args.store),
-                                    echo=True)
+                                    echo=True, checkpoint=checkpoint)
         return _campaign_main(args.kind, campaign_argv,
-                              store=JobStore(args.store), echo=True)
+                              store=JobStore(args.store), echo=True,
+                              checkpoint=checkpoint)
 
     if command in ("status", "list"):
         parser = argparse.ArgumentParser(
@@ -328,9 +343,20 @@ def _jobs_main(argv) -> int:
             print(f"no jobs in {store.root}")
         else:
             for row in rows:
+                sources = row.get("sources") or {}
+                breakdown = ", ".join(
+                    f"{sources[k]} {label}"
+                    for k, label in (("run", "recomputed"),
+                                     ("restored", "restored"),
+                                     ("cache", "cached"),
+                                     ("journal", "journaled"))
+                    if sources.get(k))
+                ckpts = row.get("checkpoints", 0)
                 print(f"{row['job_id']}  {row['status']:<10} "
                       f"{row.get('journaled', 0)}/{row['total']} journaled  "
-                      f"{row['experiment']}")
+                      f"{row['experiment']}"
+                      + (f"  [{breakdown}]" if breakdown else "")
+                      + (f"  {ckpts} checkpoint(s) on disk" if ckpts else ""))
         return 0
 
     # resume
@@ -361,7 +387,7 @@ def _jobs_main(argv) -> int:
     done = [r for r in records if r is not None]
     print(f"\njob {job.id} {job.status()['status']}: "
           f"{job.stats['journal']} journaled, {job.stats['cache']} cached, "
-          f"{job.stats['run']} ran")
+          f"{job.stats['restored']} restored, {job.stats['run']} ran")
     kind = job.spec.experiment
     if kind in ("validate", "faults"):
         if kind == "validate":
@@ -383,7 +409,8 @@ def _topo_progress(event) -> None:
           f"{event.record.metrics['total_ns']}ns {marker}{src}", flush=True)
 
 
-def _topo_main(argv, store=None, echo: bool = False) -> int:
+def _topo_main(argv, store=None, echo: bool = False,
+               checkpoint=None) -> int:
     from repro.apps.topo_scale import (TOPO_SCHEDULES, TOPO_STRATEGIES,
                                        TOPO_TOPOLOGIES, run_topo_campaign)
     from repro.collectives.algorithms import SCHEDULE_BUILDERS
@@ -439,7 +466,8 @@ def _topo_main(argv, store=None, echo: bool = False) -> int:
             strategies=args.strategies, node_counts=args.nodes,
             nbytes=args.nbytes, seed=args.seed, jobs=args.jobs,
             fail_fast=args.fail_fast, cache=cache, store=store,
-            progress=_topo_progress if echo else None)
+            progress=_topo_progress if echo else None,
+            checkpoint=checkpoint)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -488,7 +516,8 @@ def _congestion_progress(event) -> None:
           f"p99={m['p99_latency_ns']}ns {marker}{src}", flush=True)
 
 
-def _congestion_main(argv, store=None, echo: bool = False) -> int:
+def _congestion_main(argv, store=None, echo: bool = False,
+                     checkpoint=None) -> int:
     from repro.apps.congestion import (CONGESTION_DISCIPLINES,
                                        CONGESTION_LOADS,
                                        CONGESTION_STRATEGIES,
@@ -565,7 +594,8 @@ def _congestion_main(argv, store=None, echo: bool = False) -> int:
             messages=args.messages, nbytes=args.nbytes,
             bg_horizon_ns=args.bg_horizon_ns, seed=args.seed,
             jobs=args.jobs, fail_fast=args.fail_fast, cache=cache,
-            store=store, progress=_congestion_progress if echo else None)
+            store=store, progress=_congestion_progress if echo else None,
+            checkpoint=checkpoint)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -643,7 +673,8 @@ def _print_stats(name: str, telemetry) -> None:
 
 
 def _bench_main(argv) -> int:
-    from repro.bench import DEFAULT_REPORT_PATH, WORKLOADS, run_bench
+    from repro.bench import (DEFAULT_REPORT_PATH, WORKLOADS,
+                             compare_to_baseline, run_bench)
 
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -661,14 +692,41 @@ def _bench_main(argv) -> int:
                         const=DEFAULT_REPORT_PATH,
                         help="write the report as JSON (default file: "
                              f"{DEFAULT_REPORT_PATH})")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="regression gate: exit 1 if any shared "
+                             "workload's events/sec drops more than "
+                             "--max-drop below this BENCH_core.json")
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        metavar="FRAC",
+                        help="allowed fractional rate drop vs --baseline "
+                             "(default: 0.20)")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if not 0 < args.max_drop < 1:
+        parser.error(f"--max-drop must be in (0, 1), got {args.max_drop}")
+    baseline = None
+    if args.baseline is not None:
+        import json
+
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as err:
+            parser.error(f"--baseline {args.baseline}: {err}")
 
     report = run_bench(workloads=args.workloads, repeat=args.repeat)
     if args.json:
         path = report.write(args.json)
         print(f"report written to {path}")
+    if baseline is not None:
+        failures = compare_to_baseline(report, baseline,
+                                       max_drop=args.max_drop)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"baseline gate ok (allowed drop: {args.max_drop:.0%})")
     return 0
 
 

@@ -319,7 +319,9 @@ def run_congestion_campaign(loads: Sequence[float] = CONGESTION_LOADS,
                             fail_fast: bool = False,
                             cache: Optional[Any] = None,
                             store: Optional[Any] = None,
-                            progress: Optional[Any] = None) -> CongestionReport:
+                            progress: Optional[Any] = None,
+                            checkpoint: Optional[Any] = None
+                            ) -> CongestionReport:
     """The full load x discipline x transport x strategy grid as one
     service-layer job (same contract as the topo/faults campaigns:
     journaled via ``store``, cached via ``cache``, streamed through
@@ -336,7 +338,8 @@ def run_congestion_campaign(loads: Sequence[float] = CONGESTION_LOADS,
     if not points:
         raise ValueError("empty campaign: no load/discipline/transport axis")
     job = Job.from_sweep(Sweep(CongestionExperiment(), points=points),
-                         config=config, cache=cache, store=store)
+                         config=config, cache=cache, store=store,
+                         checkpoint=checkpoint)
 
     def on_point(event) -> None:
         if progress is not None:

@@ -87,7 +87,8 @@ def run_topo_campaign(topologies: Sequence[str] = TOPO_TOPOLOGIES,
                       config: Optional[SystemConfig] = None,
                       fail_fast: bool = False, cache: Optional[Any] = None,
                       store: Optional[Any] = None,
-                      progress: Optional[Any] = None) -> TopoScaleReport:
+                      progress: Optional[Any] = None,
+                      checkpoint: Optional[Any] = None) -> TopoScaleReport:
     """Run the scale grid as one service-layer job (see module docstring).
 
     Same contract as the validate/faults campaigns: ``store`` journals the
@@ -106,7 +107,8 @@ def run_topo_campaign(topologies: Sequence[str] = TOPO_TOPOLOGIES,
     if not points:
         raise ValueError("empty campaign: no topology/schedule/strategy axis")
     job = Job.from_sweep(Sweep(CollectiveExperiment(), points=points),
-                         config=config, cache=cache, store=store)
+                         config=config, cache=cache, store=store,
+                         checkpoint=checkpoint)
 
     def on_point(event) -> None:
         if progress is not None:

@@ -6,7 +6,9 @@ simulation.  This package times the standard workloads -- the Figure 8
 microbenchmark, a small Jacobi solve, a ring allreduce, and a raw-engine
 event stress loop -- and reports events/sec, wall time and peak RSS, so
 engine optimizations are held to a measured standard
-(``BENCH_core.json`` at the repo root; CI runs a one-repeat smoke).
+(``BENCH_core.json`` at the repo root, committed at ``repeat >= 3`` with
+every raw sample recorded; CI re-times at 3 repeats and fails on a >20%
+engine-rate drop vs the committed file via :func:`compare_to_baseline`).
 
 The harness intentionally depends only on long-stable simulator surface
 (falling back from :meth:`~repro.sim.Simulator.call_later` to
@@ -20,6 +22,7 @@ from repro.bench.harness import (
     WORKLOADS,
     BenchReport,
     WorkloadResult,
+    compare_to_baseline,
     run_bench,
 )
 
@@ -28,5 +31,6 @@ __all__ = [
     "WORKLOADS",
     "BenchReport",
     "WorkloadResult",
+    "compare_to_baseline",
     "run_bench",
 ]

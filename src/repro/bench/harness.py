@@ -28,7 +28,8 @@ from typing import Dict, Iterable, List, Optional
 from repro.bench.workloads import WORKLOADS
 
 __all__ = ["DEFAULT_REPORT_PATH", "WORKLOADS", "BenchReport",
-           "WorkloadResult", "measure_workload", "run_bench"]
+           "WorkloadResult", "compare_to_baseline", "measure_workload",
+           "run_bench"]
 
 #: Where ``repro bench --json`` writes by default (repo-root convention).
 DEFAULT_REPORT_PATH = "BENCH_core.json"
@@ -118,6 +119,39 @@ def measure_workload(name: str, repeat: int):
                      params={"workload": name, "repeat": repeat},
                      config_fingerprint="bench",
                      metrics={"events": int(events), "wall_s": walls})
+
+
+def compare_to_baseline(report: BenchReport, baseline: Dict[str, object],
+                        max_drop: float = 0.20) -> List[str]:
+    """Regression gate: rate drops beyond ``max_drop`` vs ``baseline``.
+
+    ``baseline`` is a parsed BENCH_core.json document.  Returns one
+    human-readable line per workload whose ``events_per_sec`` fell more
+    than ``max_drop`` (fraction) below the baseline's -- empty means the
+    gate passes.  Workloads present on only one side are ignored: the
+    gate guards the perf trajectory, not the workload roster.  Single-
+    repeat runs are noisy (the committed methodology is repeat >= 3, see
+    DESIGN.md §10); the gate still works on them, just expect flakes.
+    """
+    if not 0 < max_drop < 1:
+        raise ValueError(f"max_drop must be in (0, 1), got {max_drop}")
+    base_workloads = baseline.get("workloads", {})
+    failures: List[str] = []
+    for result in report.results:
+        base = base_workloads.get(result.name)
+        if not base:
+            continue
+        base_rate = float(base.get("events_per_sec", 0.0))
+        if base_rate <= 0:
+            continue
+        floor = base_rate * (1.0 - max_drop)
+        if result.events_per_sec < floor:
+            failures.append(
+                f"{result.name}: {result.events_per_sec:,.0f} ev/s is "
+                f"{100 * (1 - result.events_per_sec / base_rate):.1f}% below "
+                f"baseline {base_rate:,.0f} ev/s (allowed drop: "
+                f"{100 * max_drop:.0f}%)")
+    return failures
 
 
 def run_bench(workloads: Optional[Iterable[str]] = None, repeat: int = 3,

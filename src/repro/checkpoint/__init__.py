@@ -1,0 +1,45 @@
+"""Deterministic checkpoint/restore + incremental re-simulation.
+
+Three layers (see DESIGN.md §12):
+
+* **Engine**: :meth:`repro.sim.Simulator.snapshot` / ``restore`` expose
+  the scheduler state (clock, heap, sequence counter, tie-break RNG);
+  the whole simulator also pickles, heap entries included.
+* **Format** (:mod:`repro.checkpoint.format`): versioned, SHA-256
+  fingerprinted checkpoint files holding a pickle of the experiment's
+  full world -- cluster, run context, observers -- so NIC/transport
+  windows, switch queues, trigger lists, and every named RNG substream
+  survive with shared identity intact.
+* **Policy** (:class:`CheckpointConfig` on ``Experiment.execute``):
+  periodic grid-aligned snapshots, resume-from-latest, and shared
+  parameter-prefix pools for incremental sweeps.
+
+The correctness bar everywhere: a run restored from any checkpoint
+produces a RunRecord byte-identical to the uninterrupted run.
+"""
+
+from repro.checkpoint.config import CheckpointConfig
+from repro.checkpoint.format import (
+    FORMAT_VERSION,
+    CheckpointError,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    point_fingerprint,
+    prune_checkpoints,
+    read_header,
+    save_checkpoint,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointError",
+    "FORMAT_VERSION",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "point_fingerprint",
+    "prune_checkpoints",
+    "read_header",
+    "save_checkpoint",
+]

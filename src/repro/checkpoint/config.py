@@ -1,0 +1,46 @@
+"""Checkpoint policy knob for :meth:`repro.runtime.Experiment.execute`.
+
+Deliberately *not* a :class:`repro.config.SystemConfig` section: whether
+and how often a run checkpoints changes nothing about the simulated
+system, so it must not perturb config fingerprints, cache keys, or
+golden fixtures (the same standalone-knob pattern as ``QueueConfig`` and
+``ReliabilityConfig``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CheckpointConfig"]
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic sim-time checkpointing for one experiment run.
+
+    Checkpoints are taken on the fixed grid ``interval_ns, 2*interval_ns,
+    ...`` of simulation time (grid alignment makes an interrupted-and-
+    resumed run hit the exact same snapshot instants as an uninterrupted
+    one, which is what makes the final RunRecord byte-identical).
+    """
+
+    #: Directory checkpoint files live in (created on first save).
+    directory: str
+    #: Simulation-time distance between snapshots, in ns.
+    interval_ns: int
+    #: Look for (and resume from) an existing checkpoint before building
+    #: the cluster from scratch.
+    resume: bool = True
+    #: How many per-point snapshots to retain (older ones are pruned
+    #: after each save).  Shared prefix snapshots are never pruned here.
+    keep: int = 2
+    #: Honor the experiment's declared parameter-prefix pool: save
+    #: pre-divergence snapshots under the shared prefix identity and
+    #: resume sibling points from them (incremental re-simulation).
+    shared_prefix: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive, got {self.interval_ns}")
+        if self.keep < 0:
+            raise ValueError(f"keep must be >= 0, got {self.keep}")

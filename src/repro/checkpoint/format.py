@@ -1,0 +1,233 @@
+"""Versioned, fingerprinted on-disk checkpoint format.
+
+A checkpoint file is::
+
+    REPRO-CKPT\n
+    <canonical-JSON header>\n
+    <pickle payload>
+
+The header carries the format version, the producing code version, the
+experiment name, the *point fingerprint* (experiment + params + config,
+the same identity the result cache keys on), the simulation time of the
+snapshot, and the SHA-256 of the payload.  :func:`load_checkpoint`
+verifies all of them before unpickling; any mismatch raises
+:class:`CheckpointError`, and callers treat that as "no checkpoint" --
+the invalidation rule is *fall back to a from-scratch run*, never trust
+a stale or foreign snapshot.
+
+The payload is a pickle of the experiment's whole *world* -- cluster,
+run context, armed observers -- so shared object identity (events waited
+on from several places, buffers aliased by NIC and GPU) survives the
+round trip.  Worlds containing live generator processes (user kernels
+mid-execution, legacy generator-driven experiments) cannot pickle;
+:func:`save_checkpoint` surfaces that as a :class:`CheckpointError`
+naming the cause instead of a bare pickling traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.record import canonical_json, json_safe
+from repro.version import __version__
+
+__all__ = [
+    "CheckpointError",
+    "FORMAT_VERSION",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "point_fingerprint",
+    "prune_checkpoints",
+    "read_header",
+    "save_checkpoint",
+]
+
+MAGIC = b"REPRO-CKPT"
+FORMAT_VERSION = 1
+
+#: File suffix for checkpoint files.
+SUFFIX = ".ckpt"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or trusted."""
+
+
+def point_fingerprint(experiment: str, params: Dict[str, Any],
+                      config_fp: str, code_version: str = __version__) -> str:
+    """Identity of one (experiment, params, config, code) point.
+
+    Same ingredients as the result-cache key, truncated for filenames.
+    """
+    digest = hashlib.sha256(canonical_json({
+        "experiment": experiment,
+        "params": json_safe(dict(params)),
+        "config": config_fp,
+        "version": code_version,
+    }).encode())
+    return digest.hexdigest()[:24]
+
+
+def checkpoint_path(directory: str, point_fp: str, sim_now_ns: int) -> str:
+    """Canonical file path for a checkpoint of ``point_fp`` at a time."""
+    return os.path.join(directory, f"{point_fp}-t{sim_now_ns:020d}{SUFFIX}")
+
+
+def save_checkpoint(directory: str, world: Any, *, experiment: str,
+                    point_fp: str, config_fp: str, sim_now_ns: int,
+                    extra: Optional[Dict[str, Any]] = None,
+                    skip_existing: bool = False) -> Optional[str]:
+    """Atomically write one checkpoint file; returns its path.
+
+    With ``skip_existing`` an already-present checkpoint for the same
+    (fingerprint, time) is left untouched and ``None`` is returned --
+    used for shared prefix checkpoints several sweep points converge on.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory, point_fp, sim_now_ns)
+    if skip_existing and os.path.exists(path):
+        return None
+    try:
+        payload = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # TypeError for generators, PicklingError, ...
+        raise CheckpointError(
+            f"simulation state is not picklable at t={sim_now_ns}: {exc} "
+            "(live generator processes -- e.g. an executing GPU kernel or a "
+            "generator-driven experiment -- cannot be checkpointed; snapshot "
+            "at a quiescent instant or use a callback-driven experiment)"
+        ) from exc
+    header = {
+        "format_version": FORMAT_VERSION,
+        "code_version": __version__,
+        "experiment": experiment,
+        "point_fingerprint": point_fp,
+        "config_fingerprint": config_fp,
+        "sim_now_ns": int(sim_now_ns),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+        "extra": json_safe(extra or {}),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC + b"\n")
+        fh.write(canonical_json(header).encode() + b"\n")
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _read(path: str) -> Tuple[Dict[str, Any], bytes]:
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.readline().rstrip(b"\n")
+            if magic != MAGIC:
+                raise CheckpointError(f"{path}: not a checkpoint file")
+            try:
+                header = json.loads(fh.readline().decode())
+            except ValueError as exc:
+                raise CheckpointError(f"{path}: corrupt header: {exc}") from exc
+            payload = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"{path}: unreadable: {exc}") from exc
+    return header, payload
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """Header of one checkpoint file (no payload verification)."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().rstrip(b"\n")
+        if magic != MAGIC:
+            raise CheckpointError(f"{path}: not a checkpoint file")
+        try:
+            return json.loads(fh.readline().decode())
+        except ValueError as exc:
+            raise CheckpointError(f"{path}: corrupt header: {exc}") from exc
+
+
+def load_checkpoint(path: str, *, expect_point_fp: Optional[str] = None,
+                    expect_config_fp: Optional[str] = None
+                    ) -> Tuple[Any, Dict[str, Any]]:
+    """Verify and unpickle one checkpoint; returns ``(world, header)``.
+
+    Raises :class:`CheckpointError` on any version, fingerprint, or
+    integrity mismatch -- callers fall back to a from-scratch run.
+    """
+    header, payload = _read(path)
+    if header.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: format version {header.get('format_version')!r} "
+            f"!= supported {FORMAT_VERSION}")
+    if header.get("code_version") != __version__:
+        raise CheckpointError(
+            f"{path}: written by code version {header.get('code_version')!r}, "
+            f"running {__version__!r}")
+    if expect_point_fp is not None and header.get("point_fingerprint") != expect_point_fp:
+        raise CheckpointError(
+            f"{path}: point fingerprint {header.get('point_fingerprint')!r} "
+            f"!= expected {expect_point_fp!r}")
+    if expect_config_fp is not None and header.get("config_fingerprint") != expect_config_fp:
+        raise CheckpointError(
+            f"{path}: config fingerprint {header.get('config_fingerprint')!r} "
+            f"!= expected {expect_config_fp!r}")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256") or len(payload) != header.get("payload_bytes"):
+        raise CheckpointError(f"{path}: payload integrity check failed "
+                              "(torn or tampered checkpoint)")
+    try:
+        world = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"{path}: payload does not unpickle: {exc}") from exc
+    return world, header
+
+
+def list_checkpoints(directory: str, point_fp: str, *,
+                     below_ns: Optional[int] = None) -> List[Tuple[int, str]]:
+    """All checkpoints of ``point_fp`` in ``directory``: ``(sim_ns, path)``
+    ascending by time.  ``below_ns`` keeps only snapshots strictly before
+    that time (the prefix-divergence horizon for shared checkpoints)."""
+    prefix = f"{point_fp}-t"
+    out: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return out
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(SUFFIX)):
+            continue
+        try:
+            sim_ns = int(name[len(prefix):-len(SUFFIX)])
+        except ValueError:
+            continue
+        if below_ns is not None and sim_ns >= below_ns:
+            continue
+        out.append((sim_ns, os.path.join(directory, name)))
+    out.sort()
+    return out
+
+
+def latest_checkpoint(directory: str, point_fp: str, *,
+                      below_ns: Optional[int] = None) -> Optional[Tuple[int, str]]:
+    """Newest usable checkpoint of ``point_fp``, or ``None``."""
+    found = list_checkpoints(directory, point_fp, below_ns=below_ns)
+    return found[-1] if found else None
+
+
+def prune_checkpoints(directory: str, point_fp: str, keep: int) -> None:
+    """Delete all but the newest ``keep`` checkpoints of ``point_fp``.
+
+    ``keep <= 0`` removes every checkpoint (used once a point completes).
+    """
+    found = list_checkpoints(directory, point_fp)
+    drop = found if keep <= 0 else found[:-keep]
+    for _, path in drop:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -266,12 +266,13 @@ class FaultsExperiment(Experiment):
         return metrics, violation
 
     def execute(self, params=None, config=None, trace=None, instrument=None,
-                metrics=None, *, observers=None):
+                metrics=None, *, observers=None, checkpoint=None):
         # Campaign records must stay lean: drop the per-run span table
         # (the tracer itself stays on for violation context and the
         # drop/retransmit trace points).
         execution = super().execute(params, config, trace, instrument,
-                                    metrics=metrics, observers=observers)
+                                    metrics=metrics, observers=observers,
+                                    checkpoint=checkpoint)
         execution.record.spans = ()
         return execution
 
@@ -347,7 +348,8 @@ def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
                         config: Optional[SystemConfig] = None,
                         fail_fast: bool = False, cache: Optional[Any] = None,
                         store: Optional[Any] = None,
-                        progress: Optional[Any] = None) -> FaultsReport:
+                        progress: Optional[Any] = None,
+                        checkpoint: Optional[Any] = None) -> FaultsReport:
     """Run ``seeds`` fault cases per workload, all monitors armed.
 
     The campaign is one :class:`repro.service.Job`: pass ``store`` (a
@@ -367,7 +369,8 @@ def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
               for w in workloads
               for s in range(seed_start, seed_start + seeds)]
     job = Job.from_sweep(Sweep(FaultsExperiment(), points=points),
-                         config=config, cache=cache, store=store)
+                         config=config, cache=cache, store=store,
+                         checkpoint=checkpoint)
 
     def on_point(event) -> None:
         if progress is not None:

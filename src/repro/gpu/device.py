@@ -13,6 +13,7 @@ doorbell commands ring the NIC at the kernel boundary (the GDS model).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import SystemConfig
@@ -65,7 +66,16 @@ class Gpu:
         #: point for :mod:`repro.metrics` occupancy/latency collection.
         #: Empty (zero overhead) unless something attaches.
         self.probes: List[Callable[[str, int, Dict[str, Any]], None]] = []
-        sim.spawn(self._front_end(), name=f"{node}.gpu.frontend")
+        # The front end is a callback state machine (not a generator
+        # process) so an idle or between-kernels GPU holds no generator
+        # frame and the cluster graph stays picklable for
+        # repro.checkpoint.  Work-groups remain generator processes --
+        # they run arbitrary user kernel code -- so snapshots are only
+        # legal at kernel boundaries.  The boot event reproduces the
+        # exact event count and seq numbering the old spawn() had.
+        boot = Event(sim, name=f"boot:{node}.gpu.frontend")
+        boot.callbacks.append(self._fe_boot)
+        boot.succeed()
 
     def _emit(self, kind: str, **detail: Any) -> None:
         for probe in self.probes:
@@ -89,25 +99,40 @@ class Gpu:
         return self.queue.submit_doorbell(handle)
 
     # ------------------------------------------------------------ internals
-    def _front_end(self):
-        while True:
-            cmd = yield self.queue.pop()
-            if isinstance(cmd, KernelDispatchCommand):
-                yield from self._run_kernel(cmd)
-            elif isinstance(cmd, DoorbellCommand):
-                self.nic.ring_doorbell(cmd.handle)
-                self.stats["doorbells"] += 1
-                cmd.rung.succeed(self.sim.now)
-            else:  # pragma: no cover - future command types
-                raise TypeError(f"unknown GPU command {cmd!r}")
+    # Front-end command loop, spelled as chained callbacks: _fe_boot ->
+    # _fe_wait -> _fe_cmd -> (kernel chain | doorbell) -> _fe_wait ...
+    # Each handler attaches at the exact callback position the old
+    # generator's _resume occupied, so event order is byte-identical.
+    def _fe_boot(self, _ev: Event) -> None:
+        self._fe_wait()
 
-    def _run_kernel(self, cmd: KernelDispatchCommand):
-        desc = cmd.desc
+    def _fe_wait(self) -> None:
+        self.queue.pop().callbacks.append(self._fe_cmd)
+
+    def _fe_cmd(self, ev: Event) -> None:
+        cmd = ev.value
+        if isinstance(cmd, KernelDispatchCommand):
+            self._fe_launch(cmd)
+        elif isinstance(cmd, DoorbellCommand):
+            self.nic.ring_doorbell(cmd.handle)
+            self.stats["doorbells"] += 1
+            cmd.rung.succeed(self.sim.now)
+            self._fe_wait()
+        else:  # pragma: no cover - future command types
+            raise TypeError(f"unknown GPU command {cmd!r}")
+
+    def _fe_launch(self, cmd: KernelDispatchCommand) -> None:
         depth = self.queue.depth + 1  # this command plus whatever is behind it
         launch_ns = self.launch_model.launch_ns(depth)
         self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-launch",
-                          kernel=desc.name)
-        yield self.sim.timeout(launch_ns)
+                          kernel=cmd.desc.name)
+        launched = self.sim.timeout(launch_ns)
+        launched.callbacks.append(
+            partial(self._fe_exec, cmd, depth, launch_ns))
+
+    def _fe_exec(self, cmd: KernelDispatchCommand, depth: int,
+                 launch_ns: int, _ev: Event) -> None:
+        desc = cmd.desc
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-launch",
                         kernel=desc.name)
         if self.probes:
@@ -121,14 +146,19 @@ class Gpu:
                            name=f"{desc.name}.wg{wg_id}")
             for wg_id in range(desc.n_workgroups)
         ]
-        try:
-            yield AllOf(self.sim, workgroups)
-        except BaseException as exc:
+        joined = AllOf(self.sim, workgroups)
+        joined.callbacks.append(partial(self._fe_executed, cmd, depth))
+
+    def _fe_executed(self, cmd: KernelDispatchCommand, depth: int,
+                     ev: Event) -> None:
+        desc = cmd.desc
+        if not ev.ok:
             # A kernel fault: propagate to whoever joins on the kernel and
             # keep the front end alive for subsequent commands.
             self.tracer.end(self.sim.now, self.node, "gpu", "kernel-exec",
-                            kernel=desc.name, fault=repr(exc))
-            cmd.finished.fail(exc)
+                            kernel=desc.name, fault=repr(ev.value))
+            cmd.finished.fail(ev.value)
+            self._fe_wait()
             return
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-exec",
                         kernel=desc.name)
@@ -136,7 +166,13 @@ class Gpu:
         teardown_ns = self.launch_model.teardown_ns(depth)
         self.tracer.begin(self.sim.now, self.node, "gpu", "kernel-teardown",
                           kernel=desc.name)
-        yield self.sim.timeout(teardown_ns)
+        torndown = self.sim.timeout(teardown_ns)
+        torndown.callbacks.append(
+            partial(self._fe_retired, cmd, teardown_ns))
+
+    def _fe_retired(self, cmd: KernelDispatchCommand, teardown_ns: int,
+                    _ev: Event) -> None:
+        desc = cmd.desc
         self.tracer.end(self.sim.now, self.node, "gpu", "kernel-teardown",
                         kernel=desc.name)
         if self.probes:
@@ -144,6 +180,7 @@ class Gpu:
                        latency_ns=teardown_ns)
         self.stats["kernels"] += 1
         cmd.finished.succeed(self.sim.now)
+        self._fe_wait()
 
     def _workgroup(self, desc: KernelDescriptor, wg_id: int):
         yield self.cus.acquire()

@@ -264,22 +264,27 @@ class Fabric:
             tracer.point(now, msg.src, "fault", "corrupt",
                          msg_id=msg.msg_id, dst=msg.dst)
 
-        def _deliver() -> None:
-            for fltr in self._rx_filters[msg.dst]:
-                if not fltr(delivered):
-                    return
-            if tracer.enabled:
-                tracer.point(self.sim.now, msg.dst, "fabric", "rx",
-                             msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
-            for handler in self._rx_handlers[msg.dst]:
-                handler(delivered)
-            done.succeed(delivered)
-
-        self.sim.call_later(delivery_time - now, _deliver)
+        # Bound method, not a closure: pending deliveries live on the
+        # event heap and must pickle for repro.checkpoint snapshots.
+        self.sim.call_later(delivery_time - now, self._deliver, delivered, done)
         if self.probes:
             for probe in self.probes:
                 probe(msg, now, egress_end, delivery_time)
         return done
+
+    def _deliver(self, delivered: DeliveredMessage, done: Event) -> None:
+        """Delivery instant: filters, rx handlers, then the waiter event."""
+        msg = delivered.message
+        for fltr in self._rx_filters[msg.dst]:
+            if not fltr(delivered):
+                return
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.point(self.sim.now, msg.dst, "fabric", "rx",
+                         msg_id=msg.msg_id, src=msg.src, nbytes=msg.nbytes)
+        for handler in self._rx_handlers[msg.dst]:
+            handler(delivered)
+        done.succeed(delivered)
 
     # ------------------------------------------------------------ estimates
     def uncontended_latency_ns(self, src: str, dst: str, nbytes: int) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
@@ -97,7 +98,18 @@ class Nic:
         self._trigger_fifo: Store = Store(sim, capacity=self.nc.trigger_fifo_depth,
                                           name=f"{node}.trigfifo")
         self._trigger_addr = 0xF000_0000 + hash(node) % 0x1000 * _TRIGGER_WINDOW_BYTES
-        sim.spawn(self._trigger_pump(), name=f"{node}.nic.trigger-pump")
+        # The trigger pump is a callback state machine, not a generator
+        # process: generator frames cannot be pickled, and an always-live
+        # pump generator would make every cluster un-checkpointable (see
+        # repro.checkpoint).  The boot event reproduces the exact event
+        # count and seq numbering the old spawn() had.
+        boot = Event(sim, name=f"boot:{node}.nic.trigger-pump")
+        boot.callbacks.append(self._pump_boot)
+        boot.succeed()
+        #: Set if the pump halted on a model error (e.g. trigger-list
+        #: overflow) -- the callback-machine analogue of the old pump
+        #: process's silent failure.
+        self._pump_error: Optional[BaseException] = None
 
         # Two-sided state.
         self._posted_recvs: Dict[int, Deque[RecvHandle]] = {}
@@ -232,21 +244,42 @@ class Nic:
             for probe in self.queue_probes:
                 probe("fifo-push", self.sim.now, depth)
 
-    def _trigger_pump(self):
-        """The trigger processor: pop, match, count, maybe fire."""
-        while True:
-            tag, overrides = yield self._trigger_fifo.get()
-            if self.queue_probes:
-                depth = len(self._trigger_fifo)
-                for probe in self.queue_probes:
-                    probe("fifo-pop", self.sim.now, depth)
-            self._active_overrides = overrides
-            try:
-                self.trigger_list.trigger(tag)
-            finally:
-                self._active_overrides = None
-            # Lookup cost of the match we just did (structure-dependent).
-            yield self.sim.timeout(self.trigger_list.lookup.cost_ns())
+    # The trigger processor: pop, match, count, maybe fire.  Spelled as a
+    # callback loop (_pump_boot -> _pump_wait -> _pump_item -> timeout ->
+    # _pump_cooled -> _pump_wait ...) so the NIC holds no generator frame;
+    # each handler attaches at the exact callback position the generator's
+    # _resume used to occupy, keeping pop order byte-identical.
+    def _pump_boot(self, _ev: Event) -> None:
+        self._pump_wait()
+
+    def _pump_wait(self) -> None:
+        self._trigger_fifo.get().callbacks.append(self._pump_item)
+
+    def _pump_item(self, ev: Event) -> None:
+        tag, overrides = ev.value
+        if self.queue_probes:
+            depth = len(self._trigger_fifo)
+            for probe in self.queue_probes:
+                probe("fifo-pop", self.sim.now, depth)
+        self._active_overrides = overrides
+        try:
+            self.trigger_list.trigger(tag)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            # The generator pump died silently here (Process._resume
+            # swallowed model errors into an unwaited process event);
+            # keep that contract, but record the cause for inspection.
+            self._pump_error = exc
+            return
+        finally:
+            self._active_overrides = None
+        # Lookup cost of the match we just did (structure-dependent).
+        cooldown = self.sim.timeout(self.trigger_list.lookup.cost_ns())
+        cooldown.callbacks.append(self._pump_cooled)
+
+    def _pump_cooled(self, _ev: Event) -> None:
+        self._pump_wait()
 
     # --------------------------------------------------- CPU command: posts
     def post_put(self, local_addr: int, nbytes: int, target: str,
@@ -306,16 +339,15 @@ class Nic:
                             "reply_addr": op.local_addr})
         done = self._transmit(msg)
         self.stats["tx_ops"] += 1
+        done.callbacks.append(partial(self._on_get_request_outcome, op.op_id))
 
-        def _on_request_outcome(ev: Event) -> None:
-            # Reliable transport gave up on the request: surface the
-            # TransportError on the get handle instead of hanging.
-            if not ev.ok:
-                handle = self._pending_gets.pop(op.op_id, None)
-                if handle is not None and not handle.complete.triggered:
-                    handle.complete.fail(ev.value)
-
-        done.callbacks.append(_on_request_outcome)
+    def _on_get_request_outcome(self, op_id: int, ev: Event) -> None:
+        # Reliable transport gave up on the request: surface the
+        # TransportError on the get handle instead of hanging.
+        if not ev.ok:
+            handle = self._pending_gets.pop(op_id, None)
+            if handle is not None and not handle.complete.triggered:
+                handle.complete.fail(ev.value)
 
     def register_triggered_get(self, tag: int, threshold: int, local_addr: int,
                                nbytes: int, target: str,
@@ -480,40 +512,42 @@ class Nic:
         if self.tracer.enabled:
             self.tracer.begin(self.sim.now, self.node, "nic", "put", op=op.op_id)
 
-        def _schedule_local_complete() -> None:
-            # Local completion: send buffer is reusable once fully
-            # serialized onto the wire; transmit() just reserved our
-            # egress port, so its busy_until is exactly this message's
-            # serialization end.  (Under the reliable transport this runs
-            # at the *first* transmission -- possibly later than post
-            # time if the go-back-N window was full.)
-            local_time = self.fabric._egress[self.node].busy_until
-            self.sim.call_later(
-                max(0, local_time - self.sim.now) + self.nc.completion_write_ns,
-                self._local_complete, handle)
-
-        done = self._transmit(msg, on_first_tx=_schedule_local_complete)
+        done = self._transmit(
+            msg, on_first_tx=partial(self._schedule_local_complete, handle))
         self.stats["tx_ops"] += 1
 
-        def _on_delivered(ev: Event) -> None:
-            if self.tracer.enabled:
-                self.tracer.end(self.sim.now, self.node, "nic", "put", op=op.op_id)
-            if handle.delivered.triggered:
-                return
-            if ev.ok:
-                handle.delivered.succeed(ev.value)
-                if self.probes:
-                    self._emit("delivered", handle)
-            else:
-                # Transport retry budget exhausted: structured failure on
-                # the handle, never a silent hang.  A send refused outright
-                # (peer already declared dead) also fails local completion
-                # -- nothing was ever serialized.
-                handle.delivered.fail(ev.value)
-                if not handle.local.triggered:
-                    handle.local.fail(ev.value)
+        done.callbacks.append(partial(self._on_put_outcome, handle))
 
-        done.callbacks.append(_on_delivered)
+    def _schedule_local_complete(self, handle: PutHandle) -> None:
+        # Local completion: send buffer is reusable once fully
+        # serialized onto the wire; transmit() just reserved our
+        # egress port, so its busy_until is exactly this message's
+        # serialization end.  (Under the reliable transport this runs
+        # at the *first* transmission -- possibly later than post
+        # time if the go-back-N window was full.)
+        local_time = self.fabric._egress[self.node].busy_until
+        self.sim.call_later(
+            max(0, local_time - self.sim.now) + self.nc.completion_write_ns,
+            self._local_complete, handle)
+
+    def _on_put_outcome(self, handle: PutHandle, ev: Event) -> None:
+        if self.tracer.enabled:
+            self.tracer.end(self.sim.now, self.node, "nic", "put",
+                            op=handle.op.op_id)
+        if handle.delivered.triggered:
+            return
+        if ev.ok:
+            handle.delivered.succeed(ev.value)
+            if self.probes:
+                self._emit("delivered", handle)
+        else:
+            # Transport retry budget exhausted: structured failure on
+            # the handle, never a silent hang.  A send refused outright
+            # (peer already declared dead) also fails local completion
+            # -- nothing was ever serialized.
+            handle.delivered.fail(ev.value)
+            if not handle.local.triggered:
+                handle.local.fail(ev.value)
 
     def _local_complete(self, handle: PutHandle) -> None:
         if self.probes:
@@ -563,18 +597,20 @@ class Nic:
             return
         flag = self._rx_flags.get(wire_tag)
         if flag is not None:
-            def _set_flag() -> None:
-                buf, off = flag
-                arr = buf.view(dtype="uint32", count=1, offset=off)
-                arr[0] = arr[0] + 1
-                self.mem.record_write(self.sim.now, Agent.NIC, buf)
-            self.sim.call_later(self.nc.completion_write_ns, _set_flag)
+            self.sim.call_later(self.nc.completion_write_ns,
+                                self._set_rx_flag, flag)
         for ev in self._rx_watchers.pop(wire_tag, []):
             ev.succeed(delivered)
         for trigger_tag in self._rx_chains.get(wire_tag, ()):
             # Internal chaining shares the trigger FIFO (ordering) but
             # skips the MMIO propagation an external write would pay.
             self.sim.call_later(0, self._fifo_push, (trigger_tag, None))
+
+    def _set_rx_flag(self, flag: Tuple[Buffer, int]) -> None:
+        buf, off = flag
+        arr = buf.view(dtype="uint32", count=1, offset=off)
+        arr[0] = arr[0] + 1
+        self.mem.record_write(self.sim.now, Agent.NIC, buf)
 
     def _rx_send(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
@@ -604,20 +640,20 @@ class Nic:
     def _rx_get_request(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
         self.stats["rx_gets"] += 1
+        self.sim.call_later(self.nc.command_process_ns + self.nc.dma_setup_ns,
+                            self._send_get_reply, msg)
+
+    def _send_get_reply(self, msg: Message) -> None:
         nbytes = msg.meta["nbytes"]
-
-        def _reply() -> None:
-            payload = self.space.dma_read(msg.remote_addr, nbytes) if nbytes else b""
-            buf, off = self.space.resolve(msg.remote_addr, max(nbytes, 1))
-            self.mem.record_read(self.sim.now, Agent.NIC, buf,
-                                 lo=off, hi=off + max(nbytes, 1))
-            reply = Message(src=self.node, dst=msg.src, nbytes=nbytes,
-                            kind=MessageKind.GET_REPLY, payload=payload,
-                            remote_addr=msg.meta["reply_addr"],
-                            meta={"op_id": msg.meta["op_id"]})
-            self._transmit(reply)
-
-        self.sim.call_later(self.nc.command_process_ns + self.nc.dma_setup_ns, _reply)
+        payload = self.space.dma_read(msg.remote_addr, nbytes) if nbytes else b""
+        buf, off = self.space.resolve(msg.remote_addr, max(nbytes, 1))
+        self.mem.record_read(self.sim.now, Agent.NIC, buf,
+                             lo=off, hi=off + max(nbytes, 1))
+        reply = Message(src=self.node, dst=msg.src, nbytes=nbytes,
+                        kind=MessageKind.GET_REPLY, payload=payload,
+                        remote_addr=msg.meta["reply_addr"],
+                        meta={"op_id": msg.meta["op_id"]})
+        self._transmit(reply)
 
     def _rx_get_reply(self, delivered: DeliveredMessage) -> None:
         msg = delivered.message
@@ -629,4 +665,8 @@ class Nic:
             buf, _ = self.space.resolve(msg.remote_addr, msg.nbytes)
             self.mem.record_write(self.sim.now, Agent.NIC, buf)
         self.sim.call_later(self.nc.completion_write_ns,
-                            lambda: handle.complete.succeed(delivered))
+                            self._complete_get, handle, delivered)
+
+    @staticmethod
+    def _complete_get(handle: GetHandle, delivered: DeliveredMessage) -> None:
+        handle.complete.succeed(delivered)

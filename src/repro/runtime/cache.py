@@ -41,6 +41,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Misses that were then satisfied by resuming a checkpoint
+        #: rather than recomputing from t=0 (tallied by the sweep runner;
+        #: always ``<= misses`` -- a restored point is still a cache miss).
+        self.restored = 0
 
     # ------------------------------------------------------------------ paths
     def path_for_key(self, key: str) -> Path:
@@ -85,8 +89,11 @@ class ResultCache:
 
     def stats(self) -> dict:
         """This object's lookup tally, as reported in sweep/campaign
-        summaries and ``--json`` outputs: ``{"hits", "misses"}``."""
-        return {"hits": self.hits, "misses": self.misses}
+        summaries and ``--json`` outputs: ``{"hits", "misses",
+        "restored"}``.  ``restored`` splits the misses: that many were
+        resumed from a checkpoint instead of recomputed from t=0."""
+        return {"hits": self.hits, "misses": self.misses,
+                "restored": self.restored}
 
     # ------------------------------------------------------------- housekeeping
     def clear(self) -> int:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Union)
 
+from repro.checkpoint import CheckpointConfig
 from repro.config import SystemConfig, default_config
 from repro.runtime.cache import ResultCache
 from repro.runtime.record import RunRecord, config_fingerprint
@@ -49,7 +50,9 @@ class PointDone:
     total: int
     #: Points resolved so far, this one included.
     done: int
-    #: Where the record came from: ``"run"``, ``"cache"`` or ``"journal"``.
+    #: Where the record came from: ``"run"`` (computed from t=0),
+    #: ``"restored"`` (computed, resumed from a checkpoint), ``"cache"``
+    #: or ``"journal"``.
     source: str
     record: RunRecord
 
@@ -83,7 +86,8 @@ class Job:
         self._state = (state if state is not None
                        else self._runner.init(self._materialize_payload()))
         self._cancelled = False
-        #: Source tally of the last run: {"journal": n, "cache": n, "run": n}.
+        #: Source tally of the last run:
+        #: {"journal": n, "cache": n, "restored": n, "run": n}.
         self.stats: Dict[str, int] = {}
         if self.store is not None:
             self._materialize_payload()
@@ -93,24 +97,43 @@ class Job:
     @classmethod
     def from_sweep(cls, sweep: Any, config: Optional[SystemConfig] = None,
                    cache: Optional[ResultCache] = None,
-                   store: Union[JobStore, str, None] = None) -> "Job":
+                   store: Union[JobStore, str, None] = None,
+                   checkpoint: Union["CheckpointConfig", int, None] = None
+                   ) -> "Job":
         """Wrap a :class:`~repro.runtime.sweep.Sweep` as a job.
 
         The caller's ``cache`` object is used directly for parent-side
         gets (its hit/miss counters keep working) and for inline puts;
         parallel workers reconstruct a cache on the same root and
         write through from their side.
+
+        ``checkpoint`` arms periodic per-point checkpointing: pass a
+        full :class:`~repro.checkpoint.CheckpointConfig`, or just an
+        ``int`` interval in sim-ns -- the shorthand requires a stored
+        job and puts the snapshots in the job's own checkpoint
+        directory, where a resumed submission finds them again.
         """
         config = config or default_config()
-        state = SweepState(experiment=sweep.experiment, config=config,
-                           config_fp=config_fingerprint(config), cache=cache)
+        store = _maybe_store(store)
         spec = JobSpec(
             runner=SweepRunner.name,
             experiment=sweep.experiment.name,
             points=tuple(sweep.sweep_points()),
-            config_fingerprint=state.config_fp,
+            config_fingerprint=config_fingerprint(config),
             cache_root=str(cache.root) if cache is not None else None,
         )
+        if isinstance(checkpoint, int):
+            if store is None:
+                raise ValueError(
+                    "checkpoint=<interval_ns> needs a stored job (pass "
+                    "store=...), or pass a full CheckpointConfig with an "
+                    "explicit directory")
+            checkpoint = CheckpointConfig(
+                directory=str(store.checkpoint_dir(spec.job_id())),
+                interval_ns=checkpoint)
+        state = SweepState(experiment=sweep.experiment, config=config,
+                           config_fp=spec.config_fingerprint, cache=cache,
+                           checkpoint=checkpoint)
         return cls(spec, store=store, state=state)
 
     @classmethod
@@ -157,7 +180,7 @@ class Job:
         points = self.spec.points
         total = len(points)
         records: List[Optional[RunRecord]] = [None] * total
-        self.stats = {"journal": 0, "cache": 0, "run": 0}
+        self.stats = {"journal": 0, "cache": 0, "restored": 0, "run": 0}
         done = 0
 
         def emit(index: int, record: RunRecord, source: str) -> None:
@@ -165,7 +188,7 @@ class Job:
             records[index] = record
             done += 1
             self.stats[source] += 1
-            if source == "run" and self.store is not None:
+            if source in ("run", "restored") and self.store is not None:
                 self.store.append_point(self.id, index, record)
             if progress is not None:
                 progress(PointDone(job_id=self.id, index=index, total=total,
@@ -203,7 +226,7 @@ class Job:
                 jobs=jobs)
             wq.execute(
                 pending, points,
-                on_done=lambda i, r: emit(i, r, "run"),
+                on_done=emit,
                 should_stop=lambda: self._cancelled or preempted.is_set())
         except BaseException:
             self._set_status("failed", done, total)
@@ -217,6 +240,10 @@ class Job:
             self._set_status("cancelled", done, total)
             return records
         self._set_status("done", done, total)
+        if self.store is not None:
+            # Every point is journaled: snapshots have nothing left to
+            # protect (prefix pools included).
+            self.store.clear_checkpoints(self.id)
         return records
 
     def stream(self, jobs: int = 1) -> Iterator[PointDone]:
@@ -264,11 +291,13 @@ class Job:
         meta["experiment"] = self.spec.experiment
         if self.store is not None:
             meta["journaled"] = len(self.store.completed(self.id))
+            meta["checkpoints"] = len(self.store.checkpoints(self.id))
         return meta
 
     def _set_status(self, status: str, done: int, total: int) -> None:
         if self.store is not None:
-            self.store.set_meta(self.id, status=status, done=done, total=total)
+            self.store.set_meta(self.id, status=status, done=done, total=total,
+                                sources=dict(self.stats))
 
     def _materialize_payload(self) -> bytes:
         if self.spec.payload is None:

@@ -4,8 +4,10 @@
 and preemption policy live in :class:`~repro.service.job.Job`, which
 drives it through two callbacks:
 
-* ``on_done(index, record)`` -- invoked in the submitting process for
-  every finished point, in completion order;
+* ``on_done(index, record, source)`` -- invoked in the submitting
+  process for every finished point, in completion order; ``source`` is
+  the runner's verdict on how the point resolved (``"run"`` from
+  scratch, ``"restored"`` from a checkpoint);
 * ``should_stop()`` -- polled between dispatches; once true, no new
   point is handed to a worker.  In-flight points still finish (and are
   reported through ``on_done``), which is what makes cancellation and
@@ -35,7 +37,7 @@ from repro.service.runners import _worker_init, _worker_run
 
 __all__ = ["WorkQueue"]
 
-OnDone = Callable[[int, RunRecord], None]
+OnDone = Callable[[int, RunRecord, str], None]
 ShouldStop = Callable[[], bool]
 
 
@@ -74,7 +76,8 @@ class WorkQueue:
         for index in pending:
             if should_stop():
                 return
-            on_done(index, self.runner.run(self.state, index, points[index]))
+            record, source = self.runner.run(self.state, index, points[index])
+            on_done(index, record, source)
 
     # ------------------------------------------------------------------- pool
     def _execute_pool(self, pending: Sequence[int],
@@ -121,7 +124,7 @@ class WorkQueue:
                     if error is None:
                         error = payload
                     continue
-                index, record = payload
-                on_done(index, record)
+                index, record, source = payload
+                on_done(index, record, source)
         if error is not None:
             raise error

@@ -28,6 +28,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro.checkpoint import CheckpointConfig, CheckpointError
 from repro.config import SystemConfig
 from repro.runtime.cache import ResultCache
 from repro.runtime.experiment import Experiment
@@ -45,6 +46,8 @@ class SweepState:
     config: SystemConfig
     config_fp: str
     cache: Optional[ResultCache]
+    #: Periodic-checkpoint policy for every point, or ``None`` (off).
+    checkpoint: Optional[CheckpointConfig] = None
 
 
 class SweepRunner:
@@ -55,14 +58,19 @@ class SweepRunner:
     @staticmethod
     def payload_from_state(state: SweepState) -> bytes:
         cache_root = str(state.cache.root) if state.cache is not None else None
-        return pickle.dumps((state.experiment, state.config, cache_root))
+        return pickle.dumps((state.experiment, state.config, cache_root,
+                             state.checkpoint))
 
     @staticmethod
     def init(payload: bytes) -> SweepState:
-        experiment, config, cache_root = pickle.loads(payload)
+        doc = pickle.loads(payload)
+        experiment, config, cache_root = doc[:3]
+        # Payloads journaled before checkpointing existed are 3-tuples.
+        checkpoint = doc[3] if len(doc) > 3 else None
         cache = ResultCache(cache_root) if cache_root is not None else None
         return SweepState(experiment=experiment, config=config,
-                          config_fp=config_fingerprint(config), cache=cache)
+                          config_fp=config_fingerprint(config), cache=cache,
+                          checkpoint=checkpoint)
 
     @staticmethod
     def lookup(state: SweepState, point: Dict[str, Any]) -> Optional[RunRecord]:
@@ -75,11 +83,36 @@ class SweepRunner:
                                state.config_fp)
 
     @staticmethod
-    def run(state: SweepState, index: int, point: Dict[str, Any]) -> RunRecord:
-        record = state.experiment.run(point, state.config)
+    def run(state: SweepState, index: int,
+            point: Dict[str, Any]) -> Tuple[RunRecord, str]:
+        """Execute one point; returns ``(record, source)``.
+
+        ``source`` is ``"restored"`` when the point resumed from a
+        checkpoint (its own, or a shared parameter prefix) and ``"run"``
+        for a from-scratch execution.  Determinism makes the record
+        byte-identical either way; the tag only feeds accounting.
+        """
+        source = "run"
+        if state.checkpoint is not None:
+            try:
+                execution = state.experiment.execute(
+                    point, state.config, checkpoint=state.checkpoint)
+            except CheckpointError:
+                # The experiment cannot checkpoint (custom drive(),
+                # generator processes in its world): protection is
+                # best-effort, the point still runs -- from scratch.
+                record = state.experiment.run(point, state.config)
+            else:
+                record = execution.record
+                if execution.resumed_from_ns is not None:
+                    source = "restored"
+                    if state.cache is not None:
+                        state.cache.restored += 1
+        else:
+            record = state.experiment.run(point, state.config)
         if state.cache is not None:
             state.cache.put(record)
-        return record
+        return record, source
 
 
 # --------------------------------------------------------------------- bench
@@ -101,12 +134,13 @@ class BenchRunner:
         return None  # timings are never cacheable
 
     @staticmethod
-    def run(state: None, index: int, point: Dict[str, Any]) -> RunRecord:
+    def run(state: None, index: int,
+            point: Dict[str, Any]) -> Tuple[RunRecord, str]:
         # Imported lazily: repro.bench.harness is a *client* of the
         # service layer, so the module-level dependency points the other
         # way and would be circular here.
         from repro.bench.harness import measure_workload
-        return measure_workload(point["workload"], point["repeat"])
+        return measure_workload(point["workload"], point["repeat"]), "run"
 
 
 _RUNNERS = {SweepRunner.name: SweepRunner, BenchRunner.name: BenchRunner}
@@ -132,8 +166,10 @@ def _worker_init(runner_name: str, payload: bytes) -> None:
     _WORKER = (runner, runner.init(payload))
 
 
-def _worker_run(task: Tuple[int, Dict[str, Any]]) -> Tuple[int, RunRecord]:
+def _worker_run(task: Tuple[int, Dict[str, Any]]
+                ) -> Tuple[int, RunRecord, str]:
     """Per-task entry: only ``(index, point)`` crosses the pipe."""
     index, point = task
     runner, state = _WORKER  # type: ignore[misc]
-    return index, runner.run(state, index, point)
+    record, source = runner.run(state, index, point)
+    return index, record, source

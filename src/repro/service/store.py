@@ -67,6 +67,11 @@ class JobStore:
     def job_dir(self, job_id: str) -> Path:
         return self.root / job_id
 
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """Where this job's periodic checkpoints live (see
+        :mod:`repro.checkpoint`); created lazily by the first save."""
+        return self.job_dir(job_id) / "checkpoints"
+
     def _journal_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "journal.jsonl"
 
@@ -144,12 +149,50 @@ class JobStore:
                 continue
         return out
 
+    # ------------------------------------------------------------ checkpoints
+    def checkpoints(self, job_id: str) -> List[Dict[str, Any]]:
+        """Headers of the job's on-disk checkpoints, newest-first by
+        snapshot time; unreadable files are skipped."""
+        from repro.checkpoint import CheckpointError, read_header
+        d = self.checkpoint_dir(job_id)
+        out: List[Dict[str, Any]] = []
+        try:
+            names = sorted(os.listdir(d))
+        except OSError:
+            return out
+        for name in names:
+            try:
+                out.append(read_header(str(d / name)))
+            except (CheckpointError, OSError):
+                continue
+        out.sort(key=lambda h: h.get("sim_now_ns", 0), reverse=True)
+        return out
+
+    def clear_checkpoints(self, job_id: str) -> int:
+        """Delete the job's checkpoint directory; returns files removed."""
+        d = self.checkpoint_dir(job_id)
+        n = 0
+        if not d.is_dir():
+            return n
+        for entry in sorted(d.iterdir()):
+            try:
+                entry.unlink()
+                n += 1
+            except OSError:
+                pass
+        try:
+            d.rmdir()
+        except OSError:
+            pass
+        return n
+
     # ------------------------------------------------------------- lifecycle
     def discard(self, job_id: str) -> bool:
         """Delete a job's directory; returns whether anything existed."""
         d = self.job_dir(job_id)
         if not d.is_dir():
             return False
+        self.clear_checkpoints(job_id)
         for entry in sorted(d.iterdir()):
             entry.unlink()
         d.rmdir()

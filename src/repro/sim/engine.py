@@ -55,6 +55,11 @@ PRIORITY_URGENT = 0
 #: burst of in-flight callbacks does not pin memory forever.
 _POOL_MAX = 4096
 
+# Module-level bindings: one global load instead of a module-attribute
+# lookup per scheduled event.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (not for modeled errors)."""
@@ -176,6 +181,25 @@ class Timeout(Event):
         sim._schedule_event(self, self.delay, priority)
 
 
+class _Call:
+    """Picklable adapter binding ``fn(*args)`` to an event callback.
+
+    :meth:`Simulator.schedule` used to close over ``callback``/``args``
+    with a lambda; checkpointing pickles pending heap entries, and
+    lambdas don't pickle.  Instances survive in checkpoints as long as
+    ``fn`` itself does (bound methods of model objects do).
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: tuple):
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _ev: "Event") -> None:
+        self.fn(*self.args)
+
+
 class _CallbackEvent(Event):
     """Internal fire-and-forget event used by :meth:`Simulator.call_later`.
 
@@ -192,6 +216,12 @@ class _CallbackEvent(Event):
         super().__init__(sim, name="callback")
         self._fn: Optional[Callable[..., None]] = None
         self._args: tuple = ()
+        # Permanently "triggered": pooled events are scheduled the moment
+        # they leave the pool and external code never holds a reference,
+        # so nothing can observe (or re-trigger) the pending state.
+        # Setting it once here instead of on every recycle saves two
+        # attribute writes per event on the hottest path in the tree.
+        self._triggered = True
 
     def _run_callbacks(self) -> None:
         fn, args = self._fn, self._args
@@ -200,8 +230,6 @@ class _CallbackEvent(Event):
         # callback leaves it clean in the pool rather than leaking state.
         self._fn = None
         self._args = ()
-        self._triggered = False
-        self._value = None
         pool = self.sim._pool
         if len(pool) < _POOL_MAX:
             pool.append(self)
@@ -327,7 +355,7 @@ class Simulator:
         arguments but recycles its event object through a freelist.
         """
         ev = Timeout(self, delay, priority=priority)
-        ev.callbacks.append(lambda _ev: callback(*args))
+        ev.callbacks.append(_Call(callback, args))
         return ev
 
     def call_later(
@@ -353,8 +381,75 @@ class Simulator:
         ev = pool.pop() if pool else _CallbackEvent(self)
         ev._fn = callback
         ev._args = args
-        ev._triggered = True
-        self._schedule_event(ev, delay, priority)
+        # Inlined _schedule_event: one Python frame per event is a
+        # measurable share of raw engine throughput (repro.bench
+        # "engine").  Must stay semantically identical -- same sequence
+        # stamping, same (time, priority, tiebreak, seq) heap key.
+        seq = self._seq = self._seq + 1
+        ev._sched_seq = seq
+        rng = self._tiebreak_rng
+        _heappush(self._heap,
+                  (self._now + int(delay), priority,
+                   rng.getrandbits(16) if rng is not None else 0,
+                   seq, ev))
+
+    # -------------------------------------------------------- checkpointing
+    def __getstate__(self) -> dict:
+        """Pickle support for :mod:`repro.checkpoint`.
+
+        The freelist is dropped (pooled events are inert spares; the
+        restored simulator re-grows its own) and ``_running`` is forced
+        False -- snapshots are only legal between :meth:`run` calls, and
+        the checkpoint layer enforces that before pickling.
+        """
+        state = self.__dict__.copy()
+        state["_pool"] = []
+        state["_running"] = False
+        return state
+
+    def snapshot(self) -> dict:
+        """Capture the engine's scheduler state as a plain dict.
+
+        Returns ``now``, the sequence counter, ``events_processed``, the
+        heap entries (shared, not copied -- deep capture is the checkpoint
+        layer's job, via pickling the whole object graph) and the
+        tie-break RNG state.  :meth:`restore` accepts the result.
+        """
+        if self._running:
+            raise SimulationError("snapshot() while the simulator is running")
+        return {
+            "version": 1,
+            "now": self._now,
+            "seq": self._seq,
+            "events_processed": self.events_processed,
+            "heap": list(self._heap),
+            "tiebreak_state": (self._tiebreak_rng.getstate()
+                               if self._tiebreak_rng is not None else None),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore scheduler state captured by :meth:`snapshot`.
+
+        Heap entries keep their original ``(time, priority, tiebreak,
+        sequence)`` keys, so pop order -- including FIFO tie-breaks --
+        continues exactly as it would have in the snapshotted run.
+        """
+        if self._running:
+            raise SimulationError("restore() while the simulator is running")
+        if state.get("version") != 1:
+            raise SimulationError(
+                f"unsupported simulator snapshot version {state.get('version')!r}")
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self.events_processed = state["events_processed"]
+        self._heap = list(state["heap"])
+        heapq.heapify(self._heap)
+        if state["tiebreak_state"] is None:
+            self._tiebreak_rng = None
+        else:
+            rng = random.Random()
+            rng.setstate(state["tiebreak_state"])
+            self._tiebreak_rng = rng
 
     # ------------------------------------------------------- validation hooks
     def add_step_probe(self, probe: Callable[[int, int, int, int, Event], None]) -> None:
@@ -380,10 +475,10 @@ class Simulator:
         seq = self._seq = self._seq + 1
         event._sched_seq = seq
         rng = self._tiebreak_rng
-        heapq.heappush(self._heap,
-                       (self._now + int(delay), priority,
-                        rng.getrandbits(16) if rng is not None else 0,
-                        seq, event))
+        _heappush(self._heap,
+                  (self._now + int(delay), priority,
+                   rng.getrandbits(16) if rng is not None else 0,
+                   seq, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
@@ -420,11 +515,17 @@ class Simulator:
         self._running = True
         processed = 0
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
+        pool = self._pool
         # Bind the probe *list* (not a snapshot): add_step_probe appends in
         # place, so probes attached mid-run are still honored while the
         # no-probe case costs one truthiness test per event.
         probes = self._step_probes
+        # Fire-and-forget callback events (the common case under the
+        # hardware models) are dispatched inline: recycling them through
+        # the freelist here instead of via Event._run_callbacks saves a
+        # Python frame per event.  The inline block is semantically
+        # identical to _CallbackEvent._run_callbacks.
         try:
             if until is None:
                 while heap:
@@ -434,7 +535,16 @@ class Simulator:
                     if probes:
                         for probe in probes:
                             probe(t, prio, tie, seq, event)
-                    event._run_callbacks()
+                    if event.__class__ is _CallbackEvent:
+                        fn = event._fn
+                        args = event._args
+                        event._fn = None
+                        event._args = ()
+                        if len(pool) < _POOL_MAX:
+                            pool.append(event)
+                        fn(*args)
+                    else:
+                        event._run_callbacks()
             else:
                 while heap:
                     t = heap[0][0]
@@ -450,7 +560,16 @@ class Simulator:
                         if probes:
                             for probe in probes:
                                 probe(t, prio, tie, seq, event)
-                        event._run_callbacks()
+                        if event.__class__ is _CallbackEvent:
+                            fn = event._fn
+                            args = event._args
+                            event._fn = None
+                            event._args = ()
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                            fn(*args)
+                        else:
+                            event._run_callbacks()
                 else:
                     if until > self._now:
                         self._now = until

@@ -229,12 +229,13 @@ class ValidateExperiment(Experiment):
         return metrics, violation
 
     def execute(self, params=None, config=None, trace=None, instrument=None,
-                metrics=None, *, observers=None):
+                metrics=None, *, observers=None, checkpoint=None):
         # Fuzz records must stay lean: a campaign is hundreds of runs, so
         # drop the per-run span table the tracer accumulated (the tracer
         # itself stays on for violation context).
         execution = super().execute(params, config, trace, instrument,
-                                    metrics=metrics, observers=observers)
+                                    metrics=metrics, observers=observers,
+                                    checkpoint=checkpoint)
         execution.record.spans = ()
         return execution
 
@@ -304,7 +305,8 @@ def run_campaign(workloads: Sequence[str] = FUZZ_WORKLOADS,
                  config: Optional[SystemConfig] = None,
                  fail_fast: bool = False, cache: Optional[Any] = None,
                  store: Optional[Any] = None,
-                 progress: Optional[Any] = None) -> FuzzReport:
+                 progress: Optional[Any] = None,
+                 checkpoint: Optional[Any] = None) -> FuzzReport:
     """Run ``seeds`` fuzz cases per workload, all monitors armed.
 
     The campaign is one :class:`repro.service.Job`: pass ``store`` (a
@@ -324,7 +326,8 @@ def run_campaign(workloads: Sequence[str] = FUZZ_WORKLOADS,
               for w in workloads
               for s in range(seed_start, seed_start + seeds)]
     job = Job.from_sweep(Sweep(ValidateExperiment(), points=points),
-                         config=config, cache=cache, store=store)
+                         config=config, cache=cache, store=store,
+                         checkpoint=checkpoint)
 
     def on_point(event) -> None:
         if progress is not None:

@@ -1,0 +1,103 @@
+"""Subprocess target for the SIGKILL-mid-point checkpoint tests.
+
+``run`` mode submits a checkpointed :class:`ResumableRingExperiment`
+sweep to the given store while a watcher thread polls the job's
+checkpoint directory and prints a flushed ``checkpoint <file>`` line the
+moment each snapshot lands -- the parent SIGKILLs this process on the
+first such line, guaranteeing a hard kill mid-point with a usable
+snapshot on disk (SIGKILL cannot be caught, so the journal never sees
+the in-flight point).
+
+``resume`` mode resubmits the *identical* sweep (same content-addressed
+job id, same checkpoint directory): the killed point must resume from
+its latest snapshot rather than from scratch.  It asserts at least one
+point reported ``restored`` and that the final records are
+byte-identical to an uninterrupted, checkpoint-free run, printing
+``byte-identical ok`` before exiting 0.
+"""
+
+import sys
+import threading
+import time
+
+#: Snapshot grid.  The tail divergence sits at 2M ns, so the first few
+#: snapshots (500k, 1M, 1.5M) land in the shared-prefix pool and both
+#: points below can resume from them.
+INTERVAL_NS = 500_000
+TAIL_AT_NS = 2_000_000
+
+
+def _points(rounds):
+    """Two sibling points differing only in the post-divergence tail."""
+    base = {"nodes": 4, "rounds": rounds, "tail_at_ns": TAIL_AT_NS}
+    return [dict(base, extra_rounds=0), dict(base, extra_rounds=3)]
+
+
+def _sweep(rounds):
+    from repro.apps import ResumableRingExperiment
+    from repro.runtime.sweep import Sweep
+    return Sweep(ResumableRingExperiment(), points=_points(rounds))
+
+
+def _watch(directory, stop):
+    """Poll ``directory`` and announce new checkpoint files."""
+    import os
+    seen = set()
+    while not stop.is_set():
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            names = []
+        for name in names:
+            if name.endswith(".ckpt") and name not in seen:
+                seen.add(name)
+                print(f"checkpoint {name}", flush=True)
+        stop.wait(0.02)
+
+
+def main() -> int:
+    store_dir, mode = sys.argv[1], sys.argv[2]
+    rounds = int(sys.argv[3]) if len(sys.argv) > 3 else 8000
+    from repro.service import Job, JobStore
+
+    store = JobStore(store_dir)
+    job = Job.from_sweep(_sweep(rounds), store=store, checkpoint=INTERVAL_NS)
+
+    if mode == "run":
+        stop = threading.Event()
+        watcher = threading.Thread(
+            target=_watch, args=(store.checkpoint_dir(job.id), stop),
+            daemon=True)
+        watcher.start()
+        try:
+            job.run()
+        finally:
+            stop.set()
+        print("complete", flush=True)
+        return 0
+
+    assert mode == "resume", mode
+    t0 = time.perf_counter()
+    records = job.run()
+    resumed_wall = time.perf_counter() - t0
+    print(f"done journal={job.stats['journal']} "
+          f"restored={job.stats['restored']} run={job.stats['run']} "
+          f"wall={resumed_wall:.3f}s", flush=True)
+    if job.stats["restored"] < 1:
+        print("FAIL: no point resumed from a checkpoint", flush=True)
+        return 1
+
+    from repro.apps import ResumableRingExperiment
+    exp = ResumableRingExperiment()
+    for point, record in zip(_points(rounds), records):
+        fresh = exp.execute(point).record
+        if record.to_json() != fresh.to_json():
+            print(f"FAIL: record for {point} diverged from an "
+                  f"uninterrupted run", flush=True)
+            return 1
+    print("byte-identical ok", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

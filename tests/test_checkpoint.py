@@ -1,0 +1,374 @@
+"""repro.checkpoint: format integrity, engine snapshot/restore, and the
+byte-identical resume contract (DESIGN.md §12).
+
+Three layers under test, cheapest first:
+
+* the on-disk format -- versioned, fingerprinted, hash-verified; every
+  corruption or identity mismatch must raise :class:`CheckpointError`
+  (the invalidation rule is "fall back to a from-scratch run");
+* the engine primitive -- ``Simulator.restore(Simulator.snapshot())``
+  interposed at arbitrary mid-run instants must not perturb the
+  continuation (heap order, FIFO tie-breaks, seeded tie-break RNG);
+* the experiment loop -- checkpointed, interrupted-and-resumed, and
+  prefix-shared runs must all produce RunRecords byte-identical to a
+  plain uninterrupted execution.
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps import ResumableRingExperiment
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    point_fingerprint,
+    prune_checkpoints,
+    read_header,
+    save_checkpoint,
+)
+from repro.config import default_config
+from repro.runtime.experiment import Experiment
+from repro.runtime.record import config_fingerprint
+from repro.sim import SimulationError, Simulator
+
+try:
+    from hypothesis import given
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    HAVE_HYPOTHESIS = False
+
+WORLD = {"payload": [1, 2, {"three": (4, 5)}], "shared": None}
+
+
+def _save(tmp_path, *, point_fp="a" * 24, sim_now_ns=1000, world=WORLD,
+          **over):
+    fields = dict(experiment="exp", point_fp=point_fp,
+                  config_fp="cafebabe", sim_now_ns=sim_now_ns)
+    fields.update(over)
+    return save_checkpoint(str(tmp_path), world, **fields)
+
+
+class TestFormat:
+    def test_round_trip_preserves_world_and_header(self, tmp_path):
+        shared = {"k": "v"}
+        world = {"a": shared, "b": shared}
+        path = _save(tmp_path, world=world, extra={"interval_ns": 10})
+        out, header = load_checkpoint(path, expect_point_fp="a" * 24,
+                                      expect_config_fp="cafebabe")
+        assert out == world
+        assert out["a"] is out["b"], "object identity must survive"
+        assert header["experiment"] == "exp"
+        assert header["sim_now_ns"] == 1000
+        assert header["extra"] == {"interval_ns": 10}
+        assert read_header(path) == header
+
+    def test_skip_existing_leaves_first_write(self, tmp_path):
+        path = _save(tmp_path)
+        assert _save(tmp_path, world={"other": 1}, skip_existing=True) is None
+        assert load_checkpoint(path)[0] == WORLD
+
+    def test_unpicklable_world_raises_checkpoint_error(self, tmp_path):
+        def gen():
+            yield 1
+        live = gen()
+        next(live)
+        with pytest.raises(CheckpointError, match="not picklable"):
+            _save(tmp_path, world={"proc": live})
+
+    def test_not_a_checkpoint_file(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"ELF\x7f not a checkpoint")
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_checkpoint(str(path))
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            read_header(str(path))
+
+    def test_truncated_payload_fails_integrity(self, tmp_path):
+        path = _save(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-7])
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint(path)
+
+    def test_flipped_payload_byte_fails_integrity(self, tmp_path):
+        path = _save(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("format_version", 999, "format version"),
+        ("code_version", "0.0.0-other", "code version"),
+    ])
+    def test_version_mismatches_rejected(self, tmp_path, field, value, match):
+        import json
+        path = _save(tmp_path)
+        with open(path, "rb") as fh:
+            magic, header_line, payload = (fh.readline(), fh.readline(),
+                                           fh.read())
+        header = json.loads(header_line)
+        header[field] = value
+        with open(path, "wb") as fh:
+            fh.write(magic)
+            fh.write(json.dumps(header).encode() + b"\n")
+            fh.write(payload)
+        with pytest.raises(CheckpointError, match=match):
+            load_checkpoint(path)
+
+    def test_foreign_fingerprints_rejected(self, tmp_path):
+        path = _save(tmp_path)
+        with pytest.raises(CheckpointError, match="point fingerprint"):
+            load_checkpoint(path, expect_point_fp="b" * 24)
+        with pytest.raises(CheckpointError, match="config fingerprint"):
+            load_checkpoint(path, expect_config_fp="deadbeef")
+
+    def test_list_latest_prune(self, tmp_path):
+        fp, other = "c" * 24, "d" * 24
+        for t in (300, 100, 200):
+            _save(tmp_path, point_fp=fp, sim_now_ns=t)
+        _save(tmp_path, point_fp=other, sim_now_ns=999)
+        assert [t for t, _ in list_checkpoints(str(tmp_path), fp)] == \
+            [100, 200, 300]
+        assert latest_checkpoint(str(tmp_path), fp)[0] == 300
+        # below_ns is strict: a snapshot *at* the divergence horizon has
+        # already consumed tail-dependent state.
+        assert latest_checkpoint(str(tmp_path), fp, below_ns=200)[0] == 100
+        assert latest_checkpoint(str(tmp_path), fp, below_ns=100) is None
+        prune_checkpoints(str(tmp_path), fp, keep=2)
+        assert [t for t, _ in list_checkpoints(str(tmp_path), fp)] == \
+            [200, 300]
+        prune_checkpoints(str(tmp_path), fp, keep=0)
+        assert list_checkpoints(str(tmp_path), fp) == []
+        assert latest_checkpoint(str(tmp_path), other)[0] == 999
+
+    def test_point_fingerprint_tracks_identity(self):
+        base = point_fingerprint("exp", {"a": 1}, "cafe")
+        assert base == point_fingerprint("exp", {"a": 1}, "cafe")
+        assert base != point_fingerprint("exp", {"a": 2}, "cafe")
+        assert base != point_fingerprint("exp", {"a": 1}, "beef")
+        assert base != point_fingerprint("other", {"a": 1}, "cafe")
+        assert base != point_fingerprint("exp", {"a": 1}, "cafe",
+                                         code_version="0.0.0-other")
+
+
+class TestCheckpointConfig:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="interval_ns"):
+            CheckpointConfig(directory=str(tmp_path), interval_ns=0)
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointConfig(directory=str(tmp_path), interval_ns=1, keep=-1)
+
+
+def _traced_sim(delays, seed, trace):
+    """A sim whose callbacks log ``(now, tag)`` and occasionally chain."""
+    sim = Simulator()
+    if seed is not None:
+        sim.seed_tiebreaks(seed)
+
+    def fire(tag, chain_delay):
+        trace.append((sim.now, tag))
+        if chain_delay:
+            sim.call_later(chain_delay, fire, tag + 1000, 0)
+
+    for i, d in enumerate(delays):
+        # Every third callback chains a follow-up, so the heap keeps
+        # evolving past the initial schedule.
+        sim.call_later(d, fire, i, (d % 7) if i % 3 == 0 else 0)
+    return sim
+
+
+class TestSimulatorSnapshotRestore:
+    def test_snapshot_while_running_raises(self):
+        sim = Simulator()
+        boom = []
+
+        def probe():
+            try:
+                sim.snapshot()
+            except SimulationError as exc:
+                boom.append(exc)
+
+        sim.call_later(1, probe)
+        sim.run()
+        assert boom, "snapshot() inside the run loop must refuse"
+
+    def test_restore_rejects_unknown_version(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="snapshot version"):
+            sim.restore({"version": 2})
+
+    if HAVE_HYPOTHESIS:
+        @given(st.data())
+        def test_midrun_round_trip_preserves_continuation(self, data):
+            """snapshot()+restore() interposed at a fuzzer-chosen instant
+            is invisible: the continuation (order, times, tie-breaks,
+            event count) matches a never-interrupted twin run."""
+            delays = data.draw(st.lists(st.integers(0, 40),
+                                        min_size=1, max_size=25))
+            seed = data.draw(st.none() | st.integers(0, 2 ** 16))
+
+            ref_trace = []
+            ref = _traced_sim(delays, seed, ref_trace)
+            ref.run()
+
+            cut = data.draw(st.integers(0, max(delays) + 6))
+            got_trace = []
+            sim = _traced_sim(delays, seed, got_trace)
+            sim.run(until=cut)
+            state = sim.snapshot()
+            # The round trip proper: restore must accept its own output,
+            # and a second snapshot must agree on every scalar plus the
+            # heap as an ordered key multiset.
+            sim.restore(state)
+            again = sim.snapshot()
+            assert again["now"] == state["now"] == cut
+            assert again["seq"] == state["seq"]
+            assert again["events_processed"] == state["events_processed"]
+            assert (sorted(e[:4] for e in again["heap"])
+                    == sorted(e[:4] for e in state["heap"]))
+            assert (state["tiebreak_state"] is None) == (seed is None)
+            sim.run()
+            assert got_trace == ref_trace
+            assert sim.events_processed == ref.events_processed
+
+        @given(st.data())
+        def test_round_trip_at_every_grid_instant(self, data):
+            """Interposing at *every* multiple of a fuzzer-chosen grid
+            (the periodic-checkpoint access pattern) is still invisible."""
+            delays = data.draw(st.lists(st.integers(0, 30),
+                                        min_size=1, max_size=20))
+            grid = data.draw(st.integers(1, 10))
+            seed = data.draw(st.none() | st.integers(0, 2 ** 16))
+
+            ref_trace = []
+            ref = _traced_sim(delays, seed, ref_trace)
+            ref.run()
+
+            got_trace = []
+            sim = _traced_sim(delays, seed, got_trace)
+            while sim.peek() is not None:
+                horizon = ((sim.peek() + grid - 1) // grid) * grid
+                sim.run(until=horizon)
+                sim.restore(sim.snapshot())
+            assert got_trace == ref_trace
+            assert sim.events_processed == ref.events_processed
+
+
+class _DriveOverrider(Experiment):
+    name = "custom_drive"
+
+    def drive(self, cluster, ctx, params):  # pragma: no cover - never runs
+        cluster.sim.run()
+
+
+#: Small ring point: ~30 laps (~62k ns of traffic), tail horizon at the
+#: default 200_000 ns, so a 50k-ns grid yields snapshots at 50k and 100k
+#: -- both before the divergence -- and none after.
+POINT = {"rounds": 30}
+
+
+def _ck(tmp_path, **over):
+    fields = dict(directory=str(tmp_path / "ckpt"), interval_ns=50_000)
+    fields.update(over)
+    return CheckpointConfig(**fields)
+
+
+class TestCheckpointedExecution:
+    def test_drive_override_is_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="overrides drive"):
+            _DriveOverrider().execute({}, checkpoint=_ck(tmp_path))
+
+    def test_checkpointed_run_is_byte_identical_to_plain(self, tmp_path):
+        exp = ResumableRingExperiment()
+        plain = exp.execute(POINT).record.to_json()
+        ck = _ck(tmp_path)
+        first = exp.execute(POINT, checkpoint=ck)
+        assert first.resumed_from_ns is None
+        assert first.record.to_json() == plain
+        # Second run resumes from the surviving shared-prefix snapshots
+        # and must still match byte for byte.
+        second = exp.execute(POINT, checkpoint=ck)
+        assert second.resumed_from_ns == 100_000
+        assert second.record.to_json() == plain
+
+    def test_interrupted_run_resumes_from_own_snapshot(self, tmp_path):
+        exp = ResumableRingExperiment()
+        ck = _ck(tmp_path, shared_prefix=False)
+        p = exp.resolve_params(POINT)
+        cfg = exp.configure(p, default_config())
+        cfg_fp = config_fingerprint(cfg)
+        own_fp = point_fingerprint(exp.name, p, cfg_fp)
+
+        # Emulate a worker killed mid-point: drive two 50k-ns chunks by
+        # hand, snapshot each, then abandon the world.
+        cluster = exp.build_cluster(p, cfg, False)
+        ctx = exp.setup(cluster, p)
+        world = {"cluster": cluster, "ctx": ctx, "registry": None}
+        for horizon in (50_000, 100_000):
+            cluster.sim.run(until=horizon)
+            save_checkpoint(ck.directory, world, experiment=exp.name,
+                            point_fp=own_fp, config_fp=cfg_fp,
+                            sim_now_ns=horizon,
+                            extra={"interval_ns": ck.interval_ns})
+        del cluster, ctx, world
+
+        resumed = exp.execute(POINT, checkpoint=ck)
+        assert resumed.resumed_from_ns == 100_000
+        assert resumed.record.to_json() == exp.execute(POINT).record.to_json()
+        # Completion clears the point's private snapshots.
+        assert list_checkpoints(ck.directory, own_fp) == []
+
+    def test_sibling_resumes_from_shared_prefix_with_tail_overlay(
+            self, tmp_path):
+        exp = ResumableRingExperiment()
+        ck = _ck(tmp_path)
+        a = dict(POINT, extra_rounds=0)
+        b = dict(POINT, extra_rounds=2)
+        exp.execute(a, checkpoint=ck)
+
+        sibling = exp.execute(b, checkpoint=ck)
+        assert sibling.resumed_from_ns == 100_000, \
+            "sibling must reuse the pre-divergence prefix snapshot"
+        plain = exp.execute(b)
+        assert sibling.record.to_json() == plain.record.to_json()
+        assert sibling.record.metrics["laps"] == 32
+
+    def test_mismatched_snapshot_grid_falls_back_to_scratch(self, tmp_path):
+        exp = ResumableRingExperiment()
+        exp.execute(POINT, checkpoint=_ck(tmp_path))
+        # Same point, different grid: resuming would change the snapshot
+        # instants, so the loader must refuse and rebuild from t=0.
+        other = exp.execute(POINT,
+                            checkpoint=_ck(tmp_path, interval_ns=25_000))
+        assert other.resumed_from_ns is None
+        assert other.record.to_json() == exp.execute(POINT).record.to_json()
+
+    def test_resume_false_ignores_existing_snapshots(self, tmp_path):
+        exp = ResumableRingExperiment()
+        ck = _ck(tmp_path)
+        exp.execute(POINT, checkpoint=ck)
+        cold = exp.execute(POINT, checkpoint=_ck(tmp_path, resume=False))
+        assert cold.resumed_from_ns is None
+
+    def test_world_pickle_preserves_shared_identity(self, tmp_path):
+        """The cluster object graph is full of aliasing (NIC/GPU share
+        buffers, events waited on from several places); the checkpoint
+        payload must preserve it, not fan it out into copies."""
+        exp = ResumableRingExperiment()
+        p = exp.resolve_params(POINT)
+        cfg = exp.configure(p, default_config())
+        cluster = exp.build_cluster(p, cfg, False)
+        ctx = exp.setup(cluster, p)
+        cluster.sim.run(until=50_000)
+        world = pickle.loads(pickle.dumps(
+            {"cluster": cluster, "ctx": ctx, "registry": None}))
+        ring = world["ctx"]["ring"]
+        assert world["cluster"].sim is ring[0]["nic"].sim, \
+            "restored cluster and ring NICs must share one Simulator"
