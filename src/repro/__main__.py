@@ -117,6 +117,32 @@ def check_jobs_arg(parser: argparse.ArgumentParser,
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
 
+def add_dispatch_args(parser: argparse.ArgumentParser) -> None:
+    """Remote-dispatch surface shared by every campaign subcommand."""
+    parser.add_argument("--listen", metavar="[HOST:]PORT", default=None,
+                        help="open the job to remote workers at this "
+                             "address (0 = ephemeral port); join with "
+                             "`python -m repro worker serve --connect "
+                             "HOST:PORT`")
+    parser.add_argument("--priority", type=int, default=0, metavar="P",
+                        help="job priority: higher preempts lower at point "
+                             "granularity within this process (default: 0)")
+    parser.add_argument("--window", type=int, default=None, metavar="N",
+                        help="max in-flight points across all workers "
+                             "(default: max(4, 2*jobs))")
+
+
+def check_dispatch_args(parser: argparse.ArgumentParser,
+                        args: argparse.Namespace) -> None:
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.jobs == 0 and args.listen is None:
+        parser.error("--jobs 0 is remote-only; it needs --listen so "
+                     "workers can join")
+    if args.window is not None and args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
+
+
 def add_campaign_args(parser: argparse.ArgumentParser, *,
                       workloads, seeds_default: int) -> None:
     """The seeded-campaign surface shared by ``validate``/``faults``
@@ -130,6 +156,7 @@ def add_campaign_args(parser: argparse.ArgumentParser, *,
                         default=list(workloads), metavar="W",
                         help=f"subset of {list(workloads)} (default: all)")
     add_jobs_arg(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop dispatching new cases after the first "
                              "failing case (in-flight cases still finish)")
@@ -145,7 +172,7 @@ def check_campaign_args(parser: argparse.ArgumentParser,
                         args: argparse.Namespace) -> None:
     if args.seeds < 1:
         parser.error(f"--seeds must be >= 1, got {args.seeds}")
-    check_jobs_arg(parser, args)
+    check_dispatch_args(parser, args)
 
 
 def check_topology_specs(parser: argparse.ArgumentParser, specs,
@@ -260,7 +287,8 @@ def _campaign_main(kind: str, argv, store=None, echo: bool = False,
                         seed_start=args.seed_start, jobs=args.jobs,
                         fail_fast=args.fail_fast, cache=cache, store=store,
                         progress=_campaign_progress if echo else None,
-                        checkpoint=checkpoint)
+                        checkpoint=checkpoint, listen=args.listen,
+                        priority=args.priority, window=args.window)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} cases; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -271,18 +299,38 @@ def _campaign_main(kind: str, argv, store=None, echo: bool = False,
 
 # ---------------------------------------------------------------------- jobs
 def _jobs_main(argv) -> int:
-    from repro.service import Job, JobPreempted, JobStore
+    from repro.service import Job, JobPreempted, JobStore, SubmitThrottled
 
-    commands = ("submit", "status", "list", "resume")
+    commands = ("submit", "status", "list", "resume", "cancel")
     if not argv or argv[0] not in commands:
         print(f"usage: python -m repro jobs {{{','.join(commands)}}} ...\n"
               "  submit {validate,faults,topo,congestion} [--store DIR] "
               "[campaign args]\n"
               "  status [JOB_ID] [--store DIR] [--json]\n"
-              "  resume JOB_ID [--store DIR] [-j N] [--json FILE]",
+              "  resume JOB_ID [--store DIR] [-j N] [--json FILE]\n"
+              "  cancel JOB_ID [--store DIR]",
               file=sys.stderr)
         return 2
     command, rest = argv[0], argv[1:]
+
+    if command == "cancel":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro jobs cancel",
+            description="Journal a cancel request: a running job stops "
+                        "dispatching new points within one poll interval "
+                        "(in-flight points finish and stay journaled); a "
+                        "job that is not running is marked cancelled.")
+        parser.add_argument("job_id")
+        parser.add_argument("--store", metavar="DIR", default=None)
+        args = parser.parse_args(rest)
+        store = JobStore(args.store)
+        try:
+            status = store.request_cancel(args.job_id)
+        except KeyError as missing:
+            print(missing.args[0], file=sys.stderr)
+            return 1
+        print(f"job {args.job_id} {status}")
+        return 0
 
     if command == "submit":
         parser = argparse.ArgumentParser(
@@ -304,20 +352,36 @@ def _jobs_main(argv) -> int:
                                  "in-flight point from the latest snapshot "
                                  "instead of t=0 (records stay byte-"
                                  "identical)")
+        parser.add_argument("--max-active", type=int, default=None,
+                            metavar="N",
+                            help="backpressure: reject this submission (exit "
+                                 "75) if N jobs are already running in the "
+                                 "store")
+        parser.add_argument("--min-submit-interval", type=float, default=0.0,
+                            metavar="SECONDS",
+                            help="backpressure: reject this submission (exit "
+                                 "75) if a new job was submitted to the "
+                                 "store less than SECONDS ago")
         args, campaign_argv = parser.parse_known_args(rest)
         if (args.checkpoint_interval_ns is not None
                 and args.checkpoint_interval_ns <= 0):
             parser.error("--checkpoint-interval-ns must be positive")
         checkpoint = args.checkpoint_interval_ns
-        if args.kind == "topo":
-            return _topo_main(campaign_argv, store=JobStore(args.store),
-                              echo=True, checkpoint=checkpoint)
-        if args.kind == "congestion":
-            return _congestion_main(campaign_argv, store=JobStore(args.store),
-                                    echo=True, checkpoint=checkpoint)
-        return _campaign_main(args.kind, campaign_argv,
-                              store=JobStore(args.store), echo=True,
-                              checkpoint=checkpoint)
+        store = JobStore(args.store, max_active=args.max_active,
+                         min_interval_s=args.min_submit_interval)
+        try:
+            if args.kind == "topo":
+                return _topo_main(campaign_argv, store=store,
+                                  echo=True, checkpoint=checkpoint)
+            if args.kind == "congestion":
+                return _congestion_main(campaign_argv, store=store,
+                                        echo=True, checkpoint=checkpoint)
+            return _campaign_main(args.kind, campaign_argv,
+                                  store=store, echo=True,
+                                  checkpoint=checkpoint)
+        except SubmitThrottled as throttled:
+            print(f"submission rejected: {throttled}", file=sys.stderr)
+            return 75  # EX_TEMPFAIL: retry later
 
     if command in ("status", "list"):
         parser = argparse.ArgumentParser(
@@ -367,18 +431,26 @@ def _jobs_main(argv) -> int:
     parser.add_argument("job_id")
     parser.add_argument("--store", metavar="DIR", default=None)
     add_jobs_arg(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="write the campaign report as JSON")
     args = parser.parse_args(rest)
-    check_jobs_arg(parser, args)
+    check_dispatch_args(parser, args)
     store = JobStore(args.store)
     try:
         job = Job.load(store, args.job_id)
     except KeyError as missing:
         print(missing.args[0], file=sys.stderr)
         return 1
+    job.priority = args.priority
+    if args.listen is not None:
+        host, port = job.listen(args.listen)
+        print(f"job {job.id} listening on {host}:{port} -- join with: "
+              f"python -m repro worker serve --connect {host}:{port}",
+              flush=True)
     try:
-        records = job.run(jobs=args.jobs, progress=_campaign_progress)
+        records = job.run(jobs=args.jobs, progress=_campaign_progress,
+                          window=args.window)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} cases; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -397,6 +469,43 @@ def _jobs_main(argv) -> int:
         return _print_campaign_report(kind, Report(records=done), args.json)
     print(f"{len(done)}/{len(records)} points complete")
     return 0
+
+
+# --------------------------------------------------------------------- worker
+def _worker_cli(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Serve this machine's cycles to a listening job: "
+                    "connect to a dispatcher (a campaign started with "
+                    "--listen), handshake, and run (index, point) tasks "
+                    "until the job finishes.  Stale workers -- code or "
+                    "protocol version mismatch -- are rejected "
+                    "deterministically at the handshake.")
+    parser.add_argument("verb", choices=["serve"])
+    parser.add_argument("--connect", metavar="HOST:PORT", required=True,
+                        help="dispatcher address printed by the submitting "
+                             "process")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="shared-filesystem job store: when the job's "
+                             "spec is present here, the payload is loaded "
+                             "from disk instead of shipped over the wire")
+    parser.add_argument("--retry", type=float, default=30.0, metavar="S",
+                        help="keep retrying the connection for S seconds "
+                             "when the dispatcher is unreachable "
+                             "(default: 30)")
+    parser.add_argument("--once", action="store_true",
+                        help="serve one connection then exit instead of "
+                             "reconnecting until the job's final stop")
+    args = parser.parse_args(argv)
+    if args.retry < 0:
+        parser.error(f"--retry must be >= 0, got {args.retry}")
+    from repro.service.remote import serve_worker
+
+    def log(message: str) -> None:
+        print(f"[worker] {message}", flush=True)
+
+    return serve_worker(args.connect, store=args.store, retry_s=args.retry,
+                        once=args.once, log=log)
 
 
 # ----------------------------------------------------------------- topo
@@ -443,6 +552,7 @@ def _topo_main(argv, store=None, echo: bool = False,
     parser.add_argument("--seed", type=int, default=11,
                         help="data seed (default: 11)")
     add_jobs_arg(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop dispatching new points after the first "
                              "oracle mismatch")
@@ -452,7 +562,7 @@ def _topo_main(argv, store=None, echo: bool = False,
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="write the full report as JSON")
     args = parser.parse_args(argv)
-    check_jobs_arg(parser, args)
+    check_dispatch_args(parser, args)
     if any(n < 2 for n in args.nodes):
         parser.error("--nodes entries must be >= 2")
     check_topology_specs(parser, args.topologies, args.nodes)
@@ -467,7 +577,8 @@ def _topo_main(argv, store=None, echo: bool = False,
             nbytes=args.nbytes, seed=args.seed, jobs=args.jobs,
             fail_fast=args.fail_fast, cache=cache, store=store,
             progress=_topo_progress if echo else None,
-            checkpoint=checkpoint)
+            checkpoint=checkpoint, listen=args.listen,
+            priority=args.priority, window=args.window)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -565,6 +676,7 @@ def _congestion_main(argv, store=None, echo: bool = False,
     parser.add_argument("--seed", type=int, default=0,
                         help="traffic/RED seed (default: 0)")
     add_jobs_arg(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop dispatching new points after the first "
                              "monitor violation or give-up")
@@ -574,7 +686,7 @@ def _congestion_main(argv, store=None, echo: bool = False,
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="write the full report as JSON")
     args = parser.parse_args(argv)
-    check_jobs_arg(parser, args)
+    check_dispatch_args(parser, args)
     if args.nodes < 2:
         parser.error(f"--nodes must be >= 2, got {args.nodes}")
     if args.messages < 1:
@@ -595,7 +707,8 @@ def _congestion_main(argv, store=None, echo: bool = False,
             bg_horizon_ns=args.bg_horizon_ns, seed=args.seed,
             jobs=args.jobs, fail_fast=args.fail_fast, cache=cache,
             store=store, progress=_congestion_progress if echo else None,
-            checkpoint=checkpoint)
+            checkpoint=checkpoint, listen=args.listen,
+            priority=args.priority, window=args.window)
     except JobPreempted as preempt:
         print(f"\npreempted at {preempt.done}/{preempt.total} points; resume "
               f"with: python -m repro jobs resume {preempt.job_id}",
@@ -796,6 +909,8 @@ def main(argv=None) -> int:
         return _congestion_main(argv[1:], echo=True)
     if argv[:1] == ["jobs"]:
         return _jobs_main(argv[1:])
+    if argv[:1] == ["worker"]:
+        return _worker_cli(argv[1:])
     if argv[:1] == ["stats"]:
         return _stats_main(argv[1:])
     if argv[:1] == ["bench"]:

@@ -320,14 +320,20 @@ def run_congestion_campaign(loads: Sequence[float] = CONGESTION_LOADS,
                             cache: Optional[Any] = None,
                             store: Optional[Any] = None,
                             progress: Optional[Any] = None,
-                            checkpoint: Optional[Any] = None
+                            checkpoint: Optional[Any] = None,
+                            listen: Optional[Any] = None, priority: int = 0,
+                            window: Optional[int] = None
                             ) -> CongestionReport:
     """The full load x discipline x transport x strategy grid as one
     service-layer job (same contract as the topo/faults campaigns:
-    journaled via ``store``, cached via ``cache``, streamed through
-    ``progress``, cooperatively cancelled on ``fail_fast``)."""
+    journaled via ``store``, cached via ``cache`` -- a ResultCache,
+    bare CacheBackend, or root path -- streamed through ``progress``,
+    cooperatively cancelled on ``fail_fast``; ``listen``/``priority``/
+    ``window`` feed the remote-worker dispatcher)."""
+    from repro.service.backends import as_result_cache
     from repro.service.job import Job
 
+    cache = as_result_cache(cache)
     points = [{"strategy": s, "transport": t, "discipline": d, "load": load,
                "topology": topology, "n_nodes": n_nodes, "messages": messages,
                "nbytes": nbytes, "bg_horizon_ns": bg_horizon_ns, "seed": seed}
@@ -339,7 +345,12 @@ def run_congestion_campaign(loads: Sequence[float] = CONGESTION_LOADS,
         raise ValueError("empty campaign: no load/discipline/transport axis")
     job = Job.from_sweep(Sweep(CongestionExperiment(), points=points),
                          config=config, cache=cache, store=store,
-                         checkpoint=checkpoint)
+                         checkpoint=checkpoint, priority=priority)
+    if listen is not None:
+        host, port = job.listen(listen)
+        print(f"job {job.id} listening on {host}:{port} -- join with: "
+              f"python -m repro worker serve --connect {host}:{port}",
+              flush=True)
 
     def on_point(event) -> None:
         if progress is not None:
@@ -347,7 +358,7 @@ def run_congestion_campaign(loads: Sequence[float] = CONGESTION_LOADS,
         if fail_fast and not event.record.metrics["ok"]:
             job.cancel()
 
-    records = job.run(jobs=jobs, progress=on_point)
+    records = job.run(jobs=jobs, progress=on_point, window=window)
     return CongestionReport(
         records=[r for r in records if r is not None],
         cache_stats=cache.stats() if cache is not None else None)

@@ -88,16 +88,24 @@ def run_topo_campaign(topologies: Sequence[str] = TOPO_TOPOLOGIES,
                       fail_fast: bool = False, cache: Optional[Any] = None,
                       store: Optional[Any] = None,
                       progress: Optional[Any] = None,
-                      checkpoint: Optional[Any] = None) -> TopoScaleReport:
+                      checkpoint: Optional[Any] = None,
+                      listen: Optional[Any] = None, priority: int = 0,
+                      window: Optional[int] = None) -> TopoScaleReport:
     """Run the scale grid as one service-layer job (see module docstring).
 
     Same contract as the validate/faults campaigns: ``store`` journals the
-    job for kill/resume, ``cache`` reuses point records across campaigns,
+    job for kill/resume, ``cache`` reuses point records across campaigns
+    (a :class:`~repro.runtime.cache.ResultCache`, a bare
+    :class:`~repro.service.backends.CacheBackend`, or a root path),
     ``progress`` streams one event per resolved point, and ``fail_fast``
-    cancels cooperatively on the first oracle mismatch.
+    cancels cooperatively on the first oracle mismatch.  ``listen`` opens
+    the job to remote workers (port / ``"host:port"``); ``priority`` and
+    ``window`` feed the dispatcher's preemption gate and in-flight cap.
     """
+    from repro.service.backends import as_result_cache
     from repro.service.job import Job
 
+    cache = as_result_cache(cache)
     points = [{"topology": t, "schedule": sch, "strategy": strat,
                "n_nodes": n, "nbytes": nbytes, "seed": seed}
               for t in topologies
@@ -108,7 +116,12 @@ def run_topo_campaign(topologies: Sequence[str] = TOPO_TOPOLOGIES,
         raise ValueError("empty campaign: no topology/schedule/strategy axis")
     job = Job.from_sweep(Sweep(CollectiveExperiment(), points=points),
                          config=config, cache=cache, store=store,
-                         checkpoint=checkpoint)
+                         checkpoint=checkpoint, priority=priority)
+    if listen is not None:
+        host, port = job.listen(listen)
+        print(f"job {job.id} listening on {host}:{port} -- join with: "
+              f"python -m repro worker serve --connect {host}:{port}",
+              flush=True)
 
     def on_point(event) -> None:
         if progress is not None:
@@ -116,7 +129,7 @@ def run_topo_campaign(topologies: Sequence[str] = TOPO_TOPOLOGIES,
         if fail_fast and not event.record.metrics["correct"]:
             job.cancel()
 
-    records = job.run(jobs=jobs, progress=on_point)
+    records = job.run(jobs=jobs, progress=on_point, window=window)
     return TopoScaleReport(
         records=[r for r in records if r is not None],
         cache_stats=cache.stats() if cache is not None else None)

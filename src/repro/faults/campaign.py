@@ -265,13 +265,13 @@ class FaultsExperiment(Experiment):
             and (metrics["app_ok"] or gave_up))
         return metrics, violation
 
-    def execute(self, params=None, config=None, trace=None, instrument=None,
-                metrics=None, *, observers=None, checkpoint=None):
+    def execute(self, params=None, config=None, trace=None, *,
+                observers=None, checkpoint=None):
         # Campaign records must stay lean: drop the per-run span table
         # (the tracer itself stays on for violation context and the
         # drop/retransmit trace points).
-        execution = super().execute(params, config, trace, instrument,
-                                    metrics=metrics, observers=observers,
+        execution = super().execute(params, config, trace,
+                                    observers=observers,
                                     checkpoint=checkpoint)
         execution.record.spans = ()
         return execution
@@ -349,7 +349,9 @@ def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
                         fail_fast: bool = False, cache: Optional[Any] = None,
                         store: Optional[Any] = None,
                         progress: Optional[Any] = None,
-                        checkpoint: Optional[Any] = None) -> FaultsReport:
+                        checkpoint: Optional[Any] = None,
+                        listen: Optional[Any] = None, priority: int = 0,
+                        window: Optional[int] = None) -> FaultsReport:
     """Run ``seeds`` fault cases per workload, all monitors armed.
 
     The campaign is one :class:`repro.service.Job`: pass ``store`` (a
@@ -363,14 +365,21 @@ def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
     """
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
+    from repro.service.backends import as_result_cache
     from repro.service.job import Job
 
+    cache = as_result_cache(cache)
     points = [{"workload": w, "seed": s}
               for w in workloads
               for s in range(seed_start, seed_start + seeds)]
     job = Job.from_sweep(Sweep(FaultsExperiment(), points=points),
                          config=config, cache=cache, store=store,
-                         checkpoint=checkpoint)
+                         checkpoint=checkpoint, priority=priority)
+    if listen is not None:
+        host, port = job.listen(listen)
+        print(f"job {job.id} listening on {host}:{port} -- join with: "
+              f"python -m repro worker serve --connect {host}:{port}",
+              flush=True)
 
     def on_point(event) -> None:
         if progress is not None:
@@ -378,6 +387,6 @@ def run_faults_campaign(workloads: Sequence[str] = FAULT_WORKLOADS,
         if fail_fast and not event.record.metrics["ok"]:
             job.cancel()
 
-    records = job.run(jobs=jobs, progress=on_point)
+    records = job.run(jobs=jobs, progress=on_point, window=window)
     return FaultsReport(records=[r for r in records if r is not None],
                         cache_stats=cache.stats() if cache is not None else None)

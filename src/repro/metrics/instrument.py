@@ -71,7 +71,8 @@ def attach_metrics(cluster, registry: Optional[MetricsRegistry] = None
 
     Must run after the cluster is built and any reliability config is
     armed, and before traffic flows (:meth:`repro.runtime.experiment.
-    Experiment.execute` does exactly this when given ``metrics=``).
+    Experiment.execute` does exactly this when given
+    ``observers=Observers(metrics=registry)``).
     Also publishes the registry as ``cluster.metrics`` so application
     code can add app-level metrics.
     """

@@ -1,24 +1,29 @@
-"""On-disk result cache.
+"""On-disk result cache (a facade over pluggable storage backends).
 
 Keys are ``(code version, experiment name, config hash, sweep point)`` --
 exactly the inputs that determine a simulated result -- so re-rendering a
 figure after an unrelated edit is free while a config or parameter change
-misses cleanly.  Records are stored as canonical JSON, one file per key,
-fanned into 256 two-hex-digit shards.  Writes are atomic (temp file +
-rename) so concurrent sweep workers never observe torn entries -- the
-property the service layer leans on: parallel sweep workers write
-through to the cache from their own processes (and may be SIGKILLed
-mid-``put``), while the submitting process probes it concurrently.
+misses cleanly.  Storage lives behind the
+:class:`~repro.service.backends.CacheBackend` protocol: the default
+:class:`~repro.service.backends.LocalDirBackend` stores records as
+canonical JSON, one file per key, fanned into 256 two-hex-digit shards,
+with atomic writes (temp file + rename) so concurrent sweep workers never
+observe torn entries; remote workers swap in a
+:class:`~repro.service.backends.RemoteCacheBackend` that proxies the same
+``get``/``put`` traffic through their job connection.
+
+:class:`ResultCache` itself owns only the hit/miss/restored tally, so the
+``stats()`` schema campaign summaries report is identical whichever
+backend moves the bytes.
 """
 
 from __future__ import annotations
 
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
-from repro.runtime.record import RunRecord, make_cache_key
+from repro.runtime.record import RunRecord
 from repro.version import __version__
 
 __all__ = ["ResultCache", "default_cache_dir"]
@@ -35,10 +40,29 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`RunRecord` JSON files."""
+    """Content-addressed store of :class:`RunRecord` entries.
 
-    def __init__(self, root: Union[str, Path, None] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
+    ``ResultCache(root=...)`` keeps its historical meaning -- a local
+    sharded directory -- while ``ResultCache(backend=...)`` mounts any
+    :class:`~repro.service.backends.CacheBackend`.  The facade counts
+    hits, misses and checkpoint restores; the backend only moves records.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 backend: Any = None):
+        # Imported lazily: repro.service is a client of the runtime, so
+        # an eager import here would be circular.
+        from repro.service.backends import LocalDirBackend
+
+        if backend is not None and root is not None:
+            raise ValueError("pass root= or backend=, not both")
+        if backend is None:
+            backend = LocalDirBackend(root if root is not None
+                                      else default_cache_dir())
+        self.backend = backend
+        #: Storage directory of a local-dir backend (``None`` for
+        #: backends with no filesystem root, e.g. remote proxies).
+        self.root: Optional[Path] = getattr(backend, "root", None)
         self.hits = 0
         self.misses = 0
         #: Misses that were then satisfied by resuming a checkpoint
@@ -48,7 +72,7 @@ class ResultCache:
 
     # ------------------------------------------------------------------ paths
     def path_for_key(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.backend.path_for_key(key)
 
     # ----------------------------------------------------------------- lookup
     def get(self, experiment: str, params: Mapping[str, Any],
@@ -59,33 +83,17 @@ class ResultCache:
         Corrupt or unreadable entries count as misses (and are left for
         the next :meth:`put` to overwrite).
         """
-        key = make_cache_key(experiment, params, config_fp, code_version)
-        path = self.path_for_key(key)
-        try:
-            text = path.read_text()
-            record = RunRecord.from_json(text)
-        except (OSError, ValueError, KeyError, TypeError):
+        record = self.backend.get(experiment, params, config_fp, code_version)
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
         return record
 
-    def put(self, record: RunRecord) -> Path:
-        """Store a record atomically; returns the entry path."""
-        path = self.path_for_key(record.cache_key())
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(record.to_json())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+    def put(self, record: RunRecord) -> Any:
+        """Store a record; returns the backend's handle (entry path for
+        the local-dir backend)."""
+        return self.backend.put(record)
 
     def stats(self) -> dict:
         """This object's lookup tally, as reported in sweep/campaign
@@ -97,34 +105,14 @@ class ResultCache:
 
     # ------------------------------------------------------------- housekeeping
     def clear(self) -> int:
-        """Delete every entry; returns the number removed.
-
-        Also sweeps up orphaned ``*.tmp`` files -- the leftovers of
-        :meth:`put` calls killed between ``mkstemp`` and ``rename``
-        (e.g. a sweep worker dying mid-write).  Orphans do not count
-        toward the return value; they were never entries.
-        """
-        n = 0
-        if not self.root.is_dir():
-            return n
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
-            for entry in sorted(shard.glob("*.json")):
-                entry.unlink()
-                n += 1
-            for orphan in sorted(shard.glob("*.tmp")):
-                try:
-                    orphan.unlink()
-                except OSError:  # pragma: no cover - racing writer
-                    pass
-        return n
+        """Delete every entry; returns the number removed (local-dir
+        backends; see :meth:`LocalDirBackend.clear`)."""
+        return self.backend.clear()
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<ResultCache {self.root} entries={len(self)} "
+        where = self.root if self.root is not None else self.backend
+        return (f"<ResultCache {where} "
                 f"hits={self.hits} misses={self.misses}>")

@@ -15,7 +15,6 @@ context dict threaded through the hooks.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -122,9 +121,7 @@ class Experiment:
 
     def execute(self, params: Optional[Dict[str, Any]] = None,
                 config: Optional[SystemConfig] = None,
-                trace: Optional[bool] = None,
-                instrument: Optional[Any] = None,
-                metrics: Optional[Any] = None, *,
+                trace: Optional[bool] = None, *,
                 observers: Optional[Any] = None,
                 checkpoint: Optional[Any] = None) -> Execution:
         """Run the full lifecycle once; returns record + raw + cluster.
@@ -139,31 +136,12 @@ class Experiment:
         ``None`` -- the default -- arms nothing and runs the exact
         pre-observability code path, so records stay byte-identical.
 
-        ``instrument=`` and ``metrics=`` are deprecated spellings of
-        ``observers=Observers(instruments=(fn,))`` and
-        ``observers=Observers(metrics=registry)``; they emit
-        :class:`DeprecationWarning` and will be removed.
-
         ``checkpoint`` -- a :class:`repro.checkpoint.CheckpointConfig`
         -- arms periodic sim-time snapshots and resume-from-latest; see
         :meth:`_execute_checkpointed`.  ``None`` (the default) runs the
         exact pre-checkpoint code path.
         """
         obs = Observers.coerce(observers)
-        if instrument is not None:
-            warnings.warn(
-                "Experiment.execute(instrument=...) is deprecated; pass "
-                "observers=Observers(instruments=(fn,)) instead",
-                DeprecationWarning, stacklevel=2)
-        if metrics is not None:
-            warnings.warn(
-                "Experiment.execute(metrics=...) is deprecated; pass "
-                "observers=Observers(metrics=registry) instead",
-                DeprecationWarning, stacklevel=2)
-        if instrument is not None or metrics is not None:
-            obs = (obs or Observers()).merged_with(instrument=instrument,
-                                                   metrics=metrics)
-
         p = self.resolve_params(params)
         cfg = self.configure(p, config or default_config())
         do_trace = self.trace_default(p) if trace is None else trace
@@ -316,17 +294,9 @@ class Experiment:
 
     def run(self, params: Optional[Dict[str, Any]] = None,
             config: Optional[SystemConfig] = None,
-            trace: Optional[bool] = None,
-            metrics: Optional[Any] = None, *,
+            trace: Optional[bool] = None, *,
             observers: Optional[Any] = None) -> RunRecord:
         """Run once and return only the portable :class:`RunRecord`."""
-        if metrics is not None:
-            warnings.warn(
-                "Experiment.run(metrics=...) is deprecated; pass "
-                "observers=Observers(metrics=registry) instead",
-                DeprecationWarning, stacklevel=2)
-            observers = ((Observers.coerce(observers) or Observers())
-                         .merged_with(metrics=metrics))
         return self.execute(params, config, trace, observers=observers).record
 
 

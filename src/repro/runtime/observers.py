@@ -93,28 +93,6 @@ class Observers:
                 "callables") from None
         return cls(instruments=hooks)
 
-    def merged_with(self, *, instrument: Any = None,
-                    metrics: Any = None) -> "Observers":
-        """Fold legacy ``instrument=``/``metrics=`` keywords into this
-        bundle (the deprecation-shim path in ``Experiment.execute``)."""
-        out = self
-        if instrument is not None:
-            if not callable(instrument):
-                raise TypeError(f"instrument {instrument!r} is not callable")
-            out = Observers(metrics=out.metrics,
-                            instruments=out.instruments + (instrument,),
-                            faults=out.faults, fault_seed=out.fault_seed,
-                            reliability=out.reliability)
-        if metrics is not None:
-            if out.metrics is not None:
-                raise ValueError(
-                    "metrics registry supplied both via observers= and the "
-                    "deprecated metrics= keyword")
-            out = Observers(metrics=metrics, instruments=out.instruments,
-                            faults=out.faults, fault_seed=out.fault_seed,
-                            reliability=out.reliability)
-        return out
-
     # --------------------------------------------------------------- arming
     def arm(self, cluster) -> Optional[Any]:
         """Arm everything on ``cluster`` in dependency order; returns the

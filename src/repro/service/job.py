@@ -25,9 +25,10 @@ from __future__ import annotations
 import queue as _queue
 import signal
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
-                    Union)
+                    Tuple, Union)
 
 from repro.checkpoint import CheckpointConfig
 from repro.config import SystemConfig, default_config
@@ -78,7 +79,7 @@ class Job:
     """One submitted campaign: spec + optional store + run state."""
 
     def __init__(self, spec: JobSpec, store: Union[JobStore, str, None] = None,
-                 *, state: Any = None):
+                 *, state: Any = None, priority: int = 0):
         self.spec = spec
         self.store = _maybe_store(store)
         self.id = spec.job_id()
@@ -86,20 +87,29 @@ class Job:
         self._state = (state if state is not None
                        else self._runner.init(self._materialize_payload()))
         self._cancelled = False
+        #: Point-granularity preemption rank: while a job with a
+        #: strictly higher priority executes in this process, this job
+        #: stops dispatching new points until it finishes.
+        self.priority = priority
+        self._remote: Any = None
+        self._cancel_checked_at = 0.0
         #: Source tally of the last run:
         #: {"journal": n, "cache": n, "restored": n, "run": n}.
         self.stats: Dict[str, int] = {}
+        #: Dispatch tally of the last run (parallel/remote executions):
+        #: {"local": n, "remote": n, "reissued": n}.
+        self.queue_stats: Dict[str, int] = {}
         if self.store is not None:
             self._materialize_payload()
-            self.store.create(self.spec)
+            self.store.submit(self.spec)
 
     # ------------------------------------------------------------ constructors
     @classmethod
     def from_sweep(cls, sweep: Any, config: Optional[SystemConfig] = None,
                    cache: Optional[ResultCache] = None,
                    store: Union[JobStore, str, None] = None,
-                   checkpoint: Union["CheckpointConfig", int, None] = None
-                   ) -> "Job":
+                   checkpoint: Union["CheckpointConfig", int, None] = None,
+                   priority: int = 0) -> "Job":
         """Wrap a :class:`~repro.runtime.sweep.Sweep` as a job.
 
         The caller's ``cache`` object is used directly for parent-side
@@ -120,7 +130,8 @@ class Job:
             experiment=sweep.experiment.name,
             points=tuple(sweep.sweep_points()),
             config_fingerprint=config_fingerprint(config),
-            cache_root=str(cache.root) if cache is not None else None,
+            cache_root=(str(cache.root) if cache is not None
+                        and cache.root is not None else None),
         )
         if isinstance(checkpoint, int):
             if store is None:
@@ -134,7 +145,7 @@ class Job:
         state = SweepState(experiment=sweep.experiment, config=config,
                            config_fp=spec.config_fingerprint, cache=cache,
                            checkpoint=checkpoint)
-        return cls(spec, store=store, state=state)
+        return cls(spec, store=store, state=state, priority=priority)
 
     @classmethod
     def from_bench(cls, workloads: Sequence[str], repeat: int,
@@ -165,18 +176,63 @@ class Job:
         """
         self._cancelled = True
 
+    def listen(self, address: Union[int, str, Tuple[str, int]] = 0
+               ) -> Tuple[str, int]:
+        """Open this job to remote workers; returns ``(host, port)``.
+
+        ``address`` is a port (``0`` = ephemeral), ``"host:port"``, or a
+        ``(host, port)`` tuple.  Workers join with ``python -m repro
+        worker serve --connect HOST:PORT``; they are mixed with the
+        local pool by the next :meth:`run`'s dispatcher and share this
+        job's result cache through the connection.  The dispatcher is
+        closed when the run finishes.
+        """
+        from repro.service.remote import RemoteDispatcher, _parse_hostport
+        if self._remote is not None:
+            return self._remote.address
+        host, port = _parse_hostport(address, default_host="0.0.0.0")
+        cache = getattr(self._state, "cache", None)
+        self._remote = RemoteDispatcher(
+            host, port, job_id=self.id, runner_name=self.spec.runner,
+            payload=self._materialize_payload(),
+            cache_backend=cache.backend if cache is not None else None)
+        return self._remote.address
+
+    def _cancel_poll(self, interval_s: float = 0.5) -> bool:
+        """Throttled probe of the store's ``cancel.requested`` marker
+        (the ``repro jobs cancel`` path); sticky once seen."""
+        if self._cancelled or self.store is None:
+            return self._cancelled
+        now = time.monotonic()
+        if now - self._cancel_checked_at < interval_s:
+            return False
+        self._cancel_checked_at = now
+        if self.store.cancel_requested(self.id):
+            self._cancelled = True
+        return self._cancelled
+
     # --------------------------------------------------------------------- run
-    def run(self, jobs: int = 1, progress: Optional[Progress] = None
-            ) -> List[Optional[RunRecord]]:
+    def run(self, jobs: int = 1, progress: Optional[Progress] = None,
+            *, window: Optional[int] = None) -> List[Optional[RunRecord]]:
         """Execute the job; returns records in point order.
 
-        Every entry is a :class:`RunRecord` unless the job was cancelled
-        mid-run (the unreached points stay ``None``).  Raises
-        :class:`JobPreempted` if a stored job caught SIGINT/SIGTERM.
+        ``jobs`` local workers (``0`` = remote-only, needs a prior
+        :meth:`listen`) plus any remote workers that join; ``window``
+        caps in-flight points across all of them.  Every entry is a
+        :class:`RunRecord` unless the job was cancelled mid-run (the
+        unreached points stay ``None``).  Raises :class:`JobPreempted`
+        if a stored job caught SIGINT/SIGTERM.
         """
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if jobs == 0 and self._remote is None:
+            raise ValueError("jobs=0 is remote-only; call listen() first "
+                             "so workers can join")
         self._cancelled = False
+        self._cancel_checked_at = 0.0
+        if self.store is not None:
+            # A deliberate (re)run overrides any stale cancel marker.
+            self.store.clear_cancel(self.id)
         points = self.spec.points
         total = len(points)
         records: List[Optional[RunRecord]] = [None] * total
@@ -222,17 +278,24 @@ class Job:
                 runner=self._runner, state=self._state,
                 runner_name=self.spec.runner,
                 payload=(self._materialize_payload()
-                         if jobs > 1 and len(pending) > 1 else None),
-                jobs=jobs)
+                         if (jobs > 1 and len(pending) > 1)
+                         or self._remote is not None else None),
+                jobs=jobs, remote=self._remote, window=window,
+                priority=self.priority)
             wq.execute(
                 pending, points,
                 on_done=emit,
-                should_stop=lambda: self._cancelled or preempted.is_set())
+                should_stop=lambda: (self._cancelled or preempted.is_set()
+                                     or self._cancel_poll()))
+            self.queue_stats = dict(wq.stats)
         except BaseException:
             self._set_status("failed", done, total)
             raise
         finally:
             restore()
+            if self._remote is not None:
+                self._remote.close(final=True)
+                self._remote = None
         if preempted.is_set():
             self._set_status("preempted", done, total)
             raise JobPreempted(self.id, done, total)
@@ -292,12 +355,15 @@ class Job:
         if self.store is not None:
             meta["journaled"] = len(self.store.completed(self.id))
             meta["checkpoints"] = len(self.store.checkpoints(self.id))
+            if self.store.cancel_requested(self.id):
+                meta["cancel_requested"] = True
         return meta
 
     def _set_status(self, status: str, done: int, total: int) -> None:
         if self.store is not None:
             self.store.set_meta(self.id, status=status, done=done, total=total,
-                                sources=dict(self.stats))
+                                sources=dict(self.stats),
+                                dispatch=dict(self.queue_stats))
 
     def _materialize_payload(self) -> bytes:
         if self.spec.payload is None:

@@ -3,9 +3,10 @@
 A runner is the pluggable execution kernel of the service layer.  It is
 deliberately split into a *state* built once per process and a per-point
 ``run``: the :class:`~repro.service.queue.WorkQueue` ships the pickled
-payload to each worker exactly once (pool initializer) and sends only
-``(index, point)`` per task, so a 1024-point sweep pickles its
-experiment and config once per worker instead of 1024 times.
+payload to each worker exactly once -- at fork for local workers, in the
+handshake welcome for remote ones -- and sends only ``(index, point)``
+per task, so a 1024-point sweep pickles its experiment and config once
+per worker instead of 1024 times.
 
 Two runners exist:
 
@@ -18,8 +19,9 @@ Two runners exist:
   (always executed inline, never forked: wall-clock timings must not pay
   pool overhead).
 
-Runners are registered by name so a journaled job can be resumed by a
-fresh process that only knows the name.
+Runners are registered by name (:func:`register_runner`) so a journaled
+job can be resumed -- or a remote worker recruited -- by a fresh process
+that only knows the name.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.experiment import Experiment
 from repro.runtime.record import RunRecord, config_fingerprint
 
-__all__ = ["BenchRunner", "SweepRunner", "get_runner"]
+__all__ = ["BenchRunner", "SweepRunner", "get_runner", "register_runner"]
 
 
 # --------------------------------------------------------------------- sweep
@@ -57,7 +59,12 @@ class SweepRunner:
 
     @staticmethod
     def payload_from_state(state: SweepState) -> bytes:
-        cache_root = str(state.cache.root) if state.cache is not None else None
+        # Caches without a filesystem root (remote proxies) ship as
+        # uncached payloads; such workers get a proxy cache from the
+        # dispatcher handshake instead.
+        cache_root = (str(state.cache.root)
+                      if state.cache is not None
+                      and state.cache.root is not None else None)
         return pickle.dumps((state.experiment, state.config, cache_root,
                              state.checkpoint))
 
@@ -154,22 +161,52 @@ def get_runner(name: str):
                        f"registered: {sorted(_RUNNERS)}") from None
 
 
+def register_runner(runner):
+    """Register a runner class under ``runner.name`` (usable as a
+    decorator).  Local workers inherit registrations through fork;
+    remote workers must import the registering module before serving
+    (e.g. via ``PYTHONPATH``)."""
+    _RUNNERS[runner.name] = runner
+    return runner
+
+
 # ------------------------------------------------------------ worker plumbing
-#: (runner, state) of this worker process, set once by :func:`_worker_init`.
-_WORKER: Optional[Tuple[Any, Any]] = None
+def _portable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a plain
+    ``RuntimeError`` carrying its repr -- failures must always cross the
+    process/socket boundary."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc!r}")
 
 
-def _worker_init(runner_name: str, payload: bytes) -> None:
-    """Pool initializer: unpickle the working set once per worker."""
-    global _WORKER
-    runner = get_runner(runner_name)
-    _WORKER = (runner, runner.init(payload))
+def _worker_main(wid: int, runner_name: str, payload: bytes,
+                 tasks: Any, results: Any) -> None:
+    """Local worker-process loop: unpickle the working set once, then
+    run ``(index, point)`` tasks until the ``None`` sentinel.
 
-
-def _worker_run(task: Tuple[int, Dict[str, Any]]
-                ) -> Tuple[int, RunRecord, str]:
-    """Per-task entry: only ``(index, point)`` crosses the pipe."""
-    index, point = task
-    runner, state = _WORKER  # type: ignore[misc]
-    record, source = runner.run(state, index, point)
-    return index, record, source
+    Every outcome is reported on ``results`` in the dispatcher's unified
+    item shape: ``("done", wid, (index, record, source))`` or
+    ``("err", wid, (index_or_None, exc))`` -- ``index=None`` marks an
+    init failure, which is fatal for the job (the payload is broken for
+    every worker, not just this one).
+    """
+    try:
+        runner = get_runner(runner_name)
+        state = runner.init(payload)
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        results.put(("err", wid, (None, _portable_error(exc))))
+        return
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        index, point = task
+        try:
+            record, source = runner.run(state, index, point)
+        except Exception as exc:
+            results.put(("err", wid, (index, _portable_error(exc))))
+        else:
+            results.put(("done", wid, (index, record, source)))

@@ -86,42 +86,24 @@ class TestArm:
         assert execution.cluster.fabric.interposer is not None
 
 
-class TestDeprecationShims:
-    def test_execute_instrument_warns_and_still_arms(self):
-        seen = []
-        with pytest.warns(DeprecationWarning, match="instrument=.*deprecated"):
-            MicrobenchExperiment().execute(
-                PARAMS, instrument=lambda c: seen.append(c))
-        assert len(seen) == 1
+class TestLegacyKwargsRemoved:
+    """The PR-5 ``instrument=``/``metrics=`` shims are gone: ``observers=``
+    is the only spelling, and the old keywords fail loudly."""
 
-    def test_execute_metrics_warns_and_still_collects(self):
-        reg = MetricsRegistry()
-        with pytest.warns(DeprecationWarning, match="metrics=.*deprecated"):
-            execution = MicrobenchExperiment().execute(PARAMS, metrics=reg)
-        assert execution.record.telemetry == reg.dump()
-        assert reg.dump()["counters"]["sim.events"] > 0
+    def test_execute_instrument_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            MicrobenchExperiment().execute(PARAMS, instrument=lambda c: None)
 
-    def test_run_metrics_warns(self):
-        with pytest.warns(DeprecationWarning, match="metrics=.*deprecated"):
-            record = MicrobenchExperiment().run(
-                PARAMS, metrics=MetricsRegistry())
-        assert record.telemetry["counters"]["sim.events"] > 0
+    def test_execute_metrics_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            MicrobenchExperiment().execute(PARAMS, metrics=MetricsRegistry())
 
-    def test_shim_equivalent_to_observers(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = MicrobenchExperiment().execute(
-                PARAMS, metrics=MetricsRegistry()).record
-        modern = MicrobenchExperiment().execute(
-            PARAMS, observers=Observers(metrics=MetricsRegistry())).record
-        assert legacy.to_json() == modern.to_json()
+    def test_run_metrics_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            MicrobenchExperiment().run(PARAMS, metrics=MetricsRegistry())
 
-    def test_double_metrics_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="both"):
-                MicrobenchExperiment().execute(
-                    PARAMS, metrics=MetricsRegistry(),
-                    observers=Observers(metrics=MetricsRegistry()))
+    def test_merged_with_shim_gone(self):
+        assert not hasattr(Observers, "merged_with")
 
     def test_observers_keyword_emits_no_warning(self):
         with warnings.catch_warnings():
